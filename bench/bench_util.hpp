@@ -1,0 +1,66 @@
+// Shared helpers for the experiment binaries (see DESIGN.md section 5 and
+// EXPERIMENTS.md). Each binary prints GitHub-flavoured markdown tables so
+// results can be pasted into EXPERIMENTS.md verbatim.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/simplex.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::bench {
+
+struct NamedInstance {
+  std::string name;
+  WeightedGraph wg;
+  NodeId alpha;  // orientability promise used by the algorithms
+};
+
+/// The standard experiment families (kept small enough for laptop runs).
+inline std::vector<NamedInstance> standard_instances(bool weighted,
+                                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NamedInstance> out;
+  auto weigh = [&](Graph g) {
+    if (!weighted) return WeightedGraph::uniform(std::move(g));
+    auto w = gen::uniform_weights(g.num_nodes(), 100, rng);
+    return WeightedGraph(std::move(g), std::move(w));
+  };
+  out.push_back({"tree_n4096", weigh(gen::random_tree_prufer(4096, rng)), 1});
+  out.push_back({"forest2_n4096", weigh(gen::k_tree_union(4096, 2, rng)), 2});
+  out.push_back({"forest5_n4096", weigh(gen::k_tree_union(4096, 5, rng)), 5});
+  out.push_back({"grid_64x64", weigh(gen::grid(64, 64)), 2});
+  out.push_back({"planar3tree_n4096",
+                 weigh(gen::planar_stacked_triangulation(4096, rng)), 3});
+  out.push_back({"outerplanar_n4096",
+                 weigh(gen::random_maximal_outerplanar(4096, rng)), 2});
+  out.push_back({"ba2_n4096", weigh(gen::barabasi_albert(4096, 2, rng)), 2});
+  out.push_back({"ba4_n4096", weigh(gen::barabasi_albert(4096, 4, rng)), 4});
+  out.push_back({"star_n4096", weigh(gen::star(4096)), 1});
+  return out;
+}
+
+/// Best available lower bound on OPT: exact LP for small instances, else
+/// the instance's own dual certificate (caller-provided packing bound).
+inline double lp_or_packing_bound(const WeightedGraph& wg,
+                                  double packing_bound,
+                                  NodeId lp_limit = 600) {
+  if (wg.num_nodes() <= lp_limit)
+    return baselines::solve_fractional_mds(wg).objective;
+  return packing_bound;
+}
+
+inline std::string fmt_ratio(double num, double den) {
+  return den > 0 ? Table::fmt(num / den, 3) : "n/a";
+}
+
+}  // namespace arbods::bench

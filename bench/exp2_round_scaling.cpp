@@ -1,0 +1,46 @@
+// E2 — round complexity scaling (the "figure" of Theorem 1.1):
+//   (a) rounds vs Delta at fixed alpha, eps — should grow as log(Delta),
+//   (b) rounds vs 1/eps at fixed graph — should grow linearly.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/solvers.hpp"
+
+using namespace arbods;
+
+int main() {
+  std::cout << "# E2 — rounds = O(log(Delta/alpha)/eps)\n\n";
+
+  std::cout << "## (a) Delta sweep on stars (alpha = 1, eps = 0.5)\n";
+  Table a({"n = Delta+1", "log2(Delta)", "iterations r", "rounds",
+           "rounds/log2(Delta)"});
+  for (int k = 4; k <= 16; k += 2) {
+    const NodeId n = NodeId{1} << k;
+    auto wg = WeightedGraph::uniform(gen::star(n));
+    MdsResult res = solve_mds_deterministic(wg, 1, 0.5);
+    res.validate(wg, 1e-5);
+    const double lg = std::log2(static_cast<double>(n - 1));
+    a.add_row({Table::fmt_int(n), Table::fmt(lg, 1),
+               Table::fmt_int(res.iterations), Table::fmt_int(res.stats.rounds),
+               Table::fmt(res.stats.rounds / lg, 2)});
+  }
+  a.print(std::cout);
+
+  std::cout << "## (b) eps sweep on BA(4096, m=3) (alpha = 3)\n";
+  Table b({"eps", "1/eps", "iterations r", "rounds", "rounds*eps",
+           "certified ratio", "bound"});
+  Rng rng(777);
+  Graph g = gen::barabasi_albert(4096, 3, rng);
+  auto wg = WeightedGraph::uniform(std::move(g));
+  for (double eps : {0.8, 0.4, 0.2, 0.1, 0.05, 0.025}) {
+    MdsResult res = solve_mds_deterministic(wg, 3, eps);
+    res.validate(wg, 1e-5);
+    b.add_row({Table::fmt(eps, 3), Table::fmt(1.0 / eps, 1),
+               Table::fmt_int(res.iterations), Table::fmt_int(res.stats.rounds),
+               Table::fmt(res.stats.rounds * eps, 2),
+               Table::fmt(res.certified_ratio(), 3),
+               Table::fmt(7.0 * (1 + eps), 2)});
+  }
+  b.print(std::cout);
+  return 0;
+}

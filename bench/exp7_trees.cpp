@@ -1,0 +1,41 @@
+// E7 — Observation A.1: single-round 3-approximation on forests, measured
+// against the exact tree DP.
+#include "bench_util.hpp"
+#include "baselines/tree_dp.hpp"
+#include "core/solvers.hpp"
+
+using namespace arbods;
+
+int main() {
+  std::cout << "# E7 — trees (Observation A.1): 1 round, ratio <= 3\n\n";
+  Rng rng(717);
+  struct Inst {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Inst> insts;
+  insts.push_back({"path_n4096", gen::path(4096)});
+  insts.push_back({"random_tree_n4096", gen::random_tree_prufer(4096, rng)});
+  insts.push_back({"recursive_tree_n4096", gen::random_recursive_tree(4096, rng)});
+  insts.push_back({"caterpillar_512x7", gen::caterpillar(512, 7)});
+  insts.push_back({"star_n4096", gen::star(4096)});
+  insts.push_back({"spider_64x64", gen::spider(64, 64)});
+  insts.push_back({"binary_tree_n4095", gen::binary_tree(4095)});
+  insts.push_back({"forest_n4096_k16", gen::random_forest(4096, 16, rng)});
+
+  Table t({"instance", "alg weight", "OPT (tree DP)", "ratio", "rounds"});
+  for (auto& inst : insts) {
+    auto wg = WeightedGraph::uniform(std::move(inst.g));
+    MdsResult res = solve_mds_tree(wg);
+    res.validate(wg);
+    auto opt = baselines::tree_dominating_set(wg);
+    t.add_row({inst.name, Table::fmt_int(res.weight),
+               Table::fmt_int(opt.weight),
+               bench::fmt_ratio(static_cast<double>(res.weight),
+                                static_cast<double>(opt.weight)),
+               Table::fmt_int(res.stats.rounds)});
+  }
+  t.print(std::cout);
+  std::cout << "Claim check: every ratio <= 3.0 and rounds = 1.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// M1 — google-benchmark micro-benchmarks: simulator round throughput and
+// end-to-end solver cost per node.
+#include <benchmark/benchmark.h>
+
+#include "core/solvers.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+
+namespace arbods {
+namespace {
+
+void BM_NetworkBroadcastRound(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  Graph g = gen::k_tree_union(n, 3, rng);
+  WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+
+  class Flood final : public DistributedAlgorithm {
+   public:
+    void initialize(Network& net) override {
+      for (NodeId v = 0; v < net.num_nodes(); ++v)
+        net.broadcast(v, Message::tagged(0).add_real(0.5));
+    }
+    void process_round(Network& net) override {
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        double sum = 0;
+        for (const Message& m : net.inbox(v)) sum += m.real_at(1);
+        benchmark::DoNotOptimize(sum);
+        net.broadcast(v, Message::tagged(0).add_real(0.5));
+      }
+    }
+    bool finished(const Network&) const override { return false; }
+  };
+
+  for (auto _ : state) {
+    Network net(wg);
+    Flood algo;
+    net.run(algo, 10);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 *
+                          static_cast<std::int64_t>(wg.graph().num_edges()) * 2);
+}
+BENCHMARK(BM_NetworkBroadcastRound)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_SolveDeterministic(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  Graph g = gen::k_tree_union(n, 3, rng);
+  auto w = gen::uniform_weights(n, 100, rng);
+  WeightedGraph wg(std::move(g), std::move(w));
+  for (auto _ : state) {
+    auto res = solve_mds_deterministic(wg, 3, 0.3);
+    benchmark::DoNotOptimize(res.weight);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SolveDeterministic)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_SolveRandomized(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  Graph g = gen::k_tree_union(n, 4, rng);
+  WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    CongestConfig cfg;
+    cfg.seed = ++seed;
+    auto res = solve_mds_randomized(wg, 4, 2, cfg);
+    benchmark::DoNotOptimize(res.weight);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SolveRandomized)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_GeneratorKTreeUnion(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    Graph g = gen::k_tree_union(n, 3, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GeneratorKTreeUnion)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GeneratorBarabasiAlbert(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    Graph g = gen::barabasi_albert(n, 3, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GeneratorBarabasiAlbert)->Arg(1 << 12)->Arg(1 << 15);
+
+}  // namespace
+}  // namespace arbods

@@ -1,0 +1,131 @@
+// Command-line front end: run any algorithm in the library on a graph
+// file (see graph/io.hpp for the format) or on a named generator.
+//
+//   arbods_cli <algorithm> (--file PATH | --gen FAMILY --n N) [options]
+//
+// algorithms: det | unweighted | randomized | general | unknown-delta |
+//             unknown-alpha | tree | greedy
+// options:    --alpha A (default: measured pseudoarboricity)
+//             --eps E (default 0.25)   --t T (default 2)   --k K (default 2)
+//             --weights unit|uniform|powerlaw|degree|invdegree (default unit)
+//             --seed S
+// families:   tree | forest2 | forest5 | grid | planar | ba2 | ba4 | er
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "arboricity/pseudoarboricity.hpp"
+#include "baselines/greedy.hpp"
+#include "core/solvers.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+#include "graph/io.hpp"
+
+using namespace arbods;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: arbods_cli <det|unweighted|randomized|general|unknown-delta|"
+         "unknown-alpha|tree|greedy>\n"
+         "                  (--file PATH | --gen tree|forest2|forest5|grid|"
+         "planar|ba2|ba4|er --n N)\n"
+         "                  [--alpha A] [--eps E] [--t T] [--k K]\n"
+         "                  [--weights unit|uniform|powerlaw|degree|invdegree]"
+         " [--seed S]\n";
+  std::exit(2);
+}
+
+Graph make_graph(const std::string& family, NodeId n, Rng& rng) {
+  if (family == "tree") return gen::random_tree_prufer(n, rng);
+  if (family == "forest2") return gen::k_tree_union(n, 2, rng);
+  if (family == "forest5") return gen::k_tree_union(n, 5, rng);
+  if (family == "grid") {
+    NodeId side = 1;
+    while (side * side < n) ++side;
+    return gen::grid(side, side);
+  }
+  if (family == "planar") return gen::planar_stacked_triangulation(n, rng);
+  if (family == "ba2") return gen::barabasi_albert(n, 2, rng);
+  if (family == "ba4") return gen::barabasi_albert(n, 4, rng);
+  if (family == "er") return gen::erdos_renyi_gnp(n, 6.0 / n, rng);
+  std::cerr << "unknown family '" << family << "'\n";
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string algo = argv[1];
+  std::string file, family, weights = "unit";
+  NodeId n = 1000, alpha = 0;
+  double eps = 0.25;
+  std::int64_t t = 2;
+  int k = 2;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--file")) file = need("--file");
+    else if (!std::strcmp(argv[i], "--gen")) family = need("--gen");
+    else if (!std::strcmp(argv[i], "--n")) n = static_cast<NodeId>(std::stoul(need("--n")));
+    else if (!std::strcmp(argv[i], "--alpha")) alpha = static_cast<NodeId>(std::stoul(need("--alpha")));
+    else if (!std::strcmp(argv[i], "--eps")) eps = std::stod(need("--eps"));
+    else if (!std::strcmp(argv[i], "--t")) t = std::stoll(need("--t"));
+    else if (!std::strcmp(argv[i], "--k")) k = std::stoi(need("--k"));
+    else if (!std::strcmp(argv[i], "--weights")) weights = need("--weights");
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
+    else usage();
+  }
+
+  Rng rng(seed);
+  Graph g = !file.empty() ? load_graph(file) : make_graph(family, n, rng);
+  std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " Delta=" << g.max_degree() << "\n";
+  if (alpha == 0) {
+    alpha = std::max<NodeId>(1, pseudoarboricity(g));
+    std::cout << "alpha (measured pseudoarboricity): " << alpha << "\n";
+  }
+  WeightedGraph wg = gen::with_weights(std::move(g), weights, rng);
+
+  CongestConfig cfg;
+  cfg.seed = seed;
+  MdsResult res;
+  if (algo == "det") res = solve_mds_deterministic(wg, alpha, eps, cfg);
+  else if (algo == "unweighted") res = solve_mds_unweighted(wg, alpha, eps, cfg);
+  else if (algo == "randomized") res = solve_mds_randomized(wg, alpha, t, cfg);
+  else if (algo == "general") res = solve_mds_general(wg, k, cfg);
+  else if (algo == "unknown-delta") res = solve_mds_unknown_delta(wg, alpha, eps, cfg);
+  else if (algo == "unknown-alpha") res = solve_mds_unknown_alpha(wg, eps, cfg);
+  else if (algo == "tree") res = solve_mds_tree(wg, cfg);
+  else if (algo == "greedy") {
+    auto set = baselines::greedy_dominating_set(wg);
+    std::cout << "set size: " << set.size()
+              << "\nweight:   " << wg.total_weight(set) << " (centralized)\n";
+    return 0;
+  } else {
+    usage();
+  }
+
+  res.validate(wg, 1e-5);
+  std::cout << "set size:        " << res.dominating_set.size() << "\n"
+            << "weight:          " << res.weight << "\n"
+            << "dual lower bnd:  " << res.packing_lower_bound << "\n";
+  if (res.packing_lower_bound > 0)
+    std::cout << "certified ratio: " << res.certified_ratio() << "\n";
+  std::cout << "CONGEST rounds:  " << res.stats.rounds << "\n"
+            << "messages:        " << res.stats.messages << "\n"
+            << "max msg bits:    " << res.stats.max_message_bits << "\n"
+            << "verified:        OK\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Content-mirror placement on a web-like graph.
+//
+// Barabási–Albert preferential attachment approximates the low-arboricity
+// structure of web/social graphs (the paper's second motivation). Nodes
+// are hosts; hosting a mirror costs more on high-traffic (high-degree)
+// hosts. Every host must be adjacent to a mirror. Compares Theorem 1.1
+// with the randomized Theorem 1.2 at several t.
+//
+//   $ ./content_mirrors [n] [m_per_node]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/solvers.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/weights.hpp"
+
+using namespace arbods;
+
+int main(int argc, char** argv) {
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 5000;
+  const NodeId m = argc > 2 ? static_cast<NodeId>(std::atoi(argv[2])) : 4;
+
+  Rng rng(99);
+  Graph g = gen::barabasi_albert(n, m, rng);
+  std::cout << "hosts: " << n << ", links: " << g.num_edges()
+            << ", max degree: " << g.max_degree()
+            << " (degeneracy <= " << m << " by construction)\n";
+
+  // Hosting cost grows with degree (popular hosts are expensive).
+  auto costs = gen::degree_proportional_weights(g);
+  WeightedGraph wg(std::move(g), std::move(costs));
+  const NodeId alpha = m;
+
+  MdsResult det = solve_mds_deterministic(wg, alpha, 0.2);
+  det.validate(wg);
+  std::cout << "\nTheorem 1.1 deterministic:\n"
+            << "  mirrors: " << det.dominating_set.size()
+            << ", cost: " << det.weight << ", rounds: " << det.stats.rounds
+            << ", certified ratio: " << det.certified_ratio() << "\n";
+
+  for (std::int64_t t : {1, 2, 4}) {
+    MdsResult rnd = solve_mds_randomized(wg, alpha, t);
+    rnd.validate(wg);
+    std::cout << "Theorem 1.2 randomized (t=" << t << "):\n"
+              << "  mirrors: " << rnd.dominating_set.size()
+              << ", cost: " << rnd.weight << ", rounds: " << rnd.stats.rounds
+              << ", certified ratio: " << rnd.certified_ratio() << "\n";
+  }
+  std::cout << "\nTake-away: the randomized variant buys a ~2x better "
+               "approximation constant for proportionally more rounds.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Sensor-network clustering — the paper's motivating application.
+//
+// A random geometric graph models radio reachability between sensors on a
+// unit square. Battery cost of acting as a cluster head varies per sensor.
+// A weighted dominating set = a set of cluster heads such that every
+// sensor has a head in radio range, minimizing total battery cost.
+//
+//   $ ./sensor_network [n] [radius] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "arboricity/core_decomposition.hpp"
+#include "arboricity/pseudoarboricity.hpp"
+#include "baselines/greedy.hpp"
+#include "core/solvers.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/weights.hpp"
+
+using namespace arbods;
+
+int main(int argc, char** argv) {
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 2000;
+  const double radius = argc > 2 ? std::atof(argv[2]) : 0.035;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  Rng rng(seed);
+  Graph g = gen::random_geometric(n, radius, rng);
+  std::cout << "sensors: " << n << ", radio links: " << g.num_edges()
+            << ", max degree: " << g.max_degree() << "\n";
+
+  // Geometric graphs are sparse; measure the orientability promise the
+  // algorithm needs (pseudoarboricity <= arboricity).
+  const NodeId alpha = std::max<NodeId>(1, pseudoarboricity(g));
+  std::cout << "measured pseudoarboricity (alpha promise): " << alpha << "\n";
+
+  // Battery cost: heavy-tailed (a few sensors are nearly depleted).
+  auto costs = gen::power_law_weights(n, 1.4, 500, rng);
+  WeightedGraph wg(std::move(g), std::move(costs));
+
+  MdsResult heads = solve_mds_deterministic(wg, alpha, 0.25);
+  heads.validate(wg);
+
+  auto greedy = baselines::greedy_dominating_set(wg);
+
+  std::cout << "\ncluster heads chosen:     " << heads.dominating_set.size()
+            << " of " << n << "\n";
+  std::cout << "total battery cost:       " << heads.weight << "\n";
+  std::cout << "certified OPT lower bnd:  " << heads.packing_lower_bound
+            << " (ratio " << heads.certified_ratio() << ", analytic bound "
+            << (2 * alpha + 1) * 1.25 << ")\n";
+  std::cout << "centralized greedy cost:  " << wg.total_weight(greedy)
+            << " (needs global knowledge)\n";
+  std::cout << "CONGEST rounds used:      " << heads.stats.rounds
+            << "  — each sensor only talked to radio neighbors, "
+            << heads.stats.max_message_bits << "-bit messages\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "arboricity/core_decomposition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+CoreDecomposition core_decomposition(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  out.order.reserve(n);
+  out.position.assign(n, kInvalidNode);
+  if (n == 0) return out;
+
+  // Bucket-sorted peeling, O(n + m).
+  NodeId max_deg = g.max_degree();
+  std::vector<NodeId> deg(n);
+  std::vector<std::vector<NodeId>> bucket(max_deg + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    bucket[deg[v]].push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  NodeId current_core = 0;
+  NodeId cursor = 0;
+  NodeId removed_count = 0;
+  while (removed_count < n) {
+    while (cursor > 0 && !bucket[cursor - 1].empty()) --cursor;
+    while (bucket[cursor].empty()) ++cursor;
+    NodeId v = bucket[cursor].back();
+    bucket[cursor].pop_back();
+    if (removed[v] || deg[v] != cursor) continue;  // stale entry
+    removed[v] = true;
+    ++removed_count;
+    current_core = std::max(current_core, cursor);
+    out.core[v] = current_core;
+    out.position[v] = static_cast<NodeId>(out.order.size());
+    out.order.push_back(v);
+    for (NodeId u : g.neighbors(v)) {
+      if (!removed[u] && deg[u] > cursor) {
+        --deg[u];
+        bucket[deg[u]].push_back(u);
+      }
+    }
+  }
+  out.degeneracy = current_core;
+  return out;
+}
+
+ArboricityBounds arboricity_bounds(const Graph& g) {
+  ArboricityBounds b;
+  const auto cores = core_decomposition(g);
+  b.upper = cores.degeneracy;
+
+  // Density bound evaluated on each suffix of the peeling order (the
+  // k-cores): nodes order[i..n) induce the subgraph remaining when order[i]
+  // was removed; count its edges incrementally from the back.
+  const NodeId n = g.num_nodes();
+  if (n <= 1) {
+    b.lower = 0;
+    return b;
+  }
+  std::vector<bool> added(n, false);
+  std::uint64_t edges_in_suffix = 0;
+  NodeId lower = (g.num_edges() > 0) ? 1 : 0;
+  NodeId suffix_size = 0;
+  for (NodeId i = n; i-- > 0;) {
+    NodeId v = cores.order[i];
+    for (NodeId u : g.neighbors(v))
+      if (added[u]) ++edges_in_suffix;
+    added[v] = true;
+    ++suffix_size;
+    if (suffix_size >= 2) {
+      NodeId den = suffix_size - 1;
+      NodeId bound = static_cast<NodeId>((edges_in_suffix + den - 1) / den);
+      lower = std::max(lower, bound);
+    }
+  }
+  b.lower = lower;
+  return b;
+}
+
+}  // namespace arbods

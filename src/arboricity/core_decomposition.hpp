@@ -1,0 +1,39 @@
+// k-core decomposition (Matula–Beck peeling).
+//
+// Relation to arboricity alpha (Nash–Williams):
+//   ceil(max_S m_S / (n_S - 1)) = alpha   and   alpha <= degeneracy <= 2*alpha - 1,
+// so the peeling order yields both an orientation with out-degree <=
+// degeneracy and two-sided bounds on alpha.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods {
+
+struct CoreDecomposition {
+  /// core[v] = core number of v.
+  std::vector<NodeId> core;
+  /// Nodes in peeling order (first removed first).
+  std::vector<NodeId> order;
+  /// position[v] = index of v in `order`.
+  std::vector<NodeId> position;
+  /// Maximum core number = degeneracy.
+  NodeId degeneracy = 0;
+};
+
+CoreDecomposition core_decomposition(const Graph& g);
+
+/// Two-sided bounds on arboricity.
+struct ArboricityBounds {
+  NodeId lower = 0;  // max density bound: ceil(m_S / (n_S - 1)) over probed S
+  NodeId upper = 0;  // degeneracy
+};
+
+/// lower is evaluated on the whole graph and on every k-core subgraph
+/// (the densest cores give the strongest bound).
+ArboricityBounds arboricity_bounds(const Graph& g);
+
+}  // namespace arbods

@@ -1,0 +1,82 @@
+#include "arboricity/dinic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+Dinic::Dinic(int num_vertices) : head_(num_vertices) {
+  ARBODS_CHECK(num_vertices >= 0);
+}
+
+int Dinic::add_edge(int u, int v, std::int64_t capacity) {
+  ARBODS_CHECK(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices());
+  ARBODS_CHECK(capacity >= 0);
+  const int idx = static_cast<int>(arcs_.size());
+  head_[u].push_back(idx);
+  arcs_.push_back({v, capacity});
+  head_[v].push_back(idx + 1);
+  arcs_.push_back({u, 0});
+  original_cap_.push_back(capacity);
+  original_cap_.push_back(0);
+  return idx / 2;
+}
+
+bool Dinic::bfs(int s, int t) {
+  level_.assign(head_.size(), -1);
+  level_[s] = 0;
+  std::deque<int> queue{s};
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (int idx : head_[v]) {
+      const Arc& a = arcs_[idx];
+      if (a.cap > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[v] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t Dinic::dfs(int v, int t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    int idx = head_[v][i];
+    Arc& a = arcs_[idx];
+    if (a.cap <= 0 || level_[a.to] != level_[v] + 1) continue;
+    std::int64_t got = dfs(a.to, t, std::min(pushed, a.cap));
+    if (got > 0) {
+      a.cap -= got;
+      arcs_[idx ^ 1].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(int s, int t) {
+  ARBODS_CHECK(s != t);
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    iter_.assign(head_.size(), 0);
+    for (;;) {
+      std::int64_t pushed = dfs(s, t, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::int64_t Dinic::flow_on(int edge_index) const {
+  const std::size_t fwd = static_cast<std::size_t>(edge_index) * 2;
+  ARBODS_CHECK(fwd < arcs_.size());
+  return original_cap_[fwd] - arcs_[fwd].cap;
+}
+
+}  // namespace arbods

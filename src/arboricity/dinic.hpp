@@ -1,0 +1,44 @@
+// Dinic's maximum-flow algorithm on unit-ish capacity networks.
+//
+// Substrate for the exact minimum-max-out-degree orientation
+// (pseudoarboricity); kept general so tests can exercise it directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arbods {
+
+class Dinic {
+ public:
+  explicit Dinic(int num_vertices);
+
+  /// Adds a directed edge u -> v with the given capacity; returns the edge
+  /// index (usable with flow_on()).
+  int add_edge(int u, int v, std::int64_t capacity);
+
+  /// Computes the max flow from s to t. May be called once per instance.
+  std::int64_t max_flow(int s, int t);
+
+  /// Flow routed through the edge returned by add_edge.
+  std::int64_t flow_on(int edge_index) const;
+
+  int num_vertices() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t cap;  // residual capacity
+  };
+
+  bool bfs(int s, int t);
+  std::int64_t dfs(int v, int t, std::int64_t pushed);
+
+  std::vector<std::vector<int>> head_;  // adjacency: arc indices per vertex
+  std::vector<Arc> arcs_;               // arc 2i is forward, 2i+1 backward
+  std::vector<std::int64_t> original_cap_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace arbods

@@ -1,0 +1,85 @@
+#include "arboricity/orientation.hpp"
+
+#include <algorithm>
+
+#include "arboricity/core_decomposition.hpp"
+#include "common/check.hpp"
+
+namespace arbods {
+
+Orientation::Orientation(const Graph& g,
+                         std::vector<std::vector<NodeId>> out_neighbors)
+    : g_(&g), out_(std::move(out_neighbors)) {
+  ARBODS_CHECK(out_.size() == g.num_nodes());
+}
+
+std::span<const NodeId> Orientation::out_neighbors(NodeId v) const {
+  ARBODS_DCHECK(v < out_.size());
+  return out_[v];
+}
+
+NodeId Orientation::out_degree(NodeId v) const {
+  ARBODS_DCHECK(v < out_.size());
+  return static_cast<NodeId>(out_[v].size());
+}
+
+NodeId Orientation::max_out_degree() const {
+  NodeId d = 0;
+  for (const auto& o : out_) d = std::max(d, static_cast<NodeId>(o.size()));
+  return d;
+}
+
+std::vector<std::vector<NodeId>> Orientation::in_neighbors() const {
+  std::vector<std::vector<NodeId>> in(g_->num_nodes());
+  for (NodeId v = 0; v < g_->num_nodes(); ++v)
+    for (NodeId head : out_[v]) in[head].push_back(v);
+  return in;
+}
+
+void Orientation::validate() const {
+  std::size_t arcs = 0;
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    for (NodeId head : out_[v]) {
+      ARBODS_CHECK_MSG(g_->has_edge(v, head),
+                       "oriented non-edge (" << v << "," << head << ")");
+      ++arcs;
+    }
+  }
+  ARBODS_CHECK_MSG(arcs == g_->num_edges(),
+                   "orientation has " << arcs << " arcs for "
+                                      << g_->num_edges() << " edges");
+  // Each edge oriented exactly once: total arc count matches and each arc is
+  // an edge, so it remains to exclude double orientation (u->v and v->u).
+  for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+    for (NodeId head : out_[v]) {
+      const auto& back = out_[head];
+      ARBODS_CHECK_MSG(std::find(back.begin(), back.end(), v) == back.end(),
+                       "edge (" << v << "," << head << ") oriented both ways");
+    }
+  }
+}
+
+std::vector<std::vector<Edge>> Orientation::pseudoforest_layers() const {
+  std::vector<std::vector<Edge>> layers(max_out_degree());
+  for (NodeId v = 0; v < g_->num_nodes(); ++v)
+    for (std::size_t i = 0; i < out_[v].size(); ++i)
+      layers[i].push_back({v, out_[v][i]});
+  return layers;
+}
+
+Orientation orientation_from_order(const Graph& g,
+                                   std::span<const NodeId> position) {
+  ARBODS_CHECK(position.size() == g.num_nodes());
+  std::vector<std::vector<NodeId>> out(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.neighbors(u))
+      if (position[u] < position[v]) out[u].push_back(v);
+  return Orientation(g, std::move(out));
+}
+
+Orientation degeneracy_orientation(const Graph& g) {
+  const auto cores = core_decomposition(g);
+  return orientation_from_order(g, cores.position);
+}
+
+}  // namespace arbods

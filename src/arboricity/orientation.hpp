@@ -1,0 +1,50 @@
+// Edge orientations with bounded out-degree (Observation 3.5 machinery).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods {
+
+/// An orientation assigns every undirected edge a direction.
+class Orientation {
+ public:
+  /// out_neighbors[v] lists the heads of edges oriented v -> head.
+  Orientation(const Graph& g, std::vector<std::vector<NodeId>> out_neighbors);
+
+  const Graph& graph() const { return *g_; }
+
+  std::span<const NodeId> out_neighbors(NodeId v) const;
+  NodeId out_degree(NodeId v) const;
+  NodeId max_out_degree() const;
+
+  /// In-neighbors of every node (computed once on demand, O(m)).
+  std::vector<std::vector<NodeId>> in_neighbors() const;
+
+  /// Validates that every edge of the graph is oriented exactly once and
+  /// no non-edges are oriented. Throws CheckError otherwise.
+  void validate() const;
+
+  /// Splits the edges into max_out_degree() layers, layer i holding the
+  /// i-th out-edge of every node. Each layer has out-degree <= 1, i.e. is
+  /// a pseudoforest (footnote 2 of the paper).
+  std::vector<std::vector<Edge>> pseudoforest_layers() const;
+
+ private:
+  const Graph* g_;
+  std::vector<std::vector<NodeId>> out_;
+};
+
+/// Orients each edge from the endpoint peeled earlier to the one peeled
+/// later in the degeneracy order: out-degree <= degeneracy <= 2*alpha - 1.
+Orientation degeneracy_orientation(const Graph& g);
+
+/// Orients by the given total order (position[v] = rank): edge {u,v} is
+/// oriented u->v iff position[u] < position[v].
+Orientation orientation_from_order(const Graph& g,
+                                   std::span<const NodeId> position);
+
+}  // namespace arbods

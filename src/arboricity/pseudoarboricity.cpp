@@ -1,0 +1,92 @@
+#include "arboricity/pseudoarboricity.hpp"
+
+#include <algorithm>
+
+#include "arboricity/core_decomposition.hpp"
+#include "arboricity/dinic.hpp"
+#include "common/check.hpp"
+
+namespace arbods {
+
+namespace {
+
+// Flow network: source -> edge-node (cap 1), edge-node -> endpoints (cap 1),
+// vertex -> sink (cap d). Full flow == m iff orientable with out-degree <= d;
+// the endpoint that absorbs an edge's unit of flow becomes its tail.
+struct OrientFlow {
+  Dinic dinic;
+  std::vector<int> edge_to_u_arc;  // per edge: arc id edge-node -> u
+  std::vector<int> edge_to_v_arc;
+  std::vector<Edge> edges;
+  int s, t;
+
+  OrientFlow(const Graph& g, NodeId d)
+      : dinic(static_cast<int>(g.num_nodes() + g.num_edges() + 2)),
+        edges(g.edges()) {
+    const int n = static_cast<int>(g.num_nodes());
+    const int m = static_cast<int>(edges.size());
+    s = n + m;
+    t = n + m + 1;
+    edge_to_u_arc.reserve(m);
+    edge_to_v_arc.reserve(m);
+    for (int e = 0; e < m; ++e) {
+      dinic.add_edge(s, n + e, 1);
+      edge_to_u_arc.push_back(dinic.add_edge(n + e, static_cast<int>(edges[e].u), 1));
+      edge_to_v_arc.push_back(dinic.add_edge(n + e, static_cast<int>(edges[e].v), 1));
+    }
+    for (int v = 0; v < n; ++v) dinic.add_edge(v, t, d);
+  }
+};
+
+}  // namespace
+
+bool orientable_with_out_degree(const Graph& g, NodeId d) {
+  if (g.num_edges() == 0) return true;
+  OrientFlow net(g, d);
+  return net.dinic.max_flow(net.s, net.t) ==
+         static_cast<std::int64_t>(g.num_edges());
+}
+
+NodeId pseudoarboricity(const Graph& g) {
+  if (g.num_edges() == 0) return 0;
+  // Binary search in [ceil(m/n), degeneracy]; degeneracy is always feasible.
+  const auto cores = core_decomposition(g);
+  NodeId lo = static_cast<NodeId>(
+      (g.num_edges() + g.num_nodes() - 1) / g.num_nodes());
+  lo = std::max<NodeId>(lo, 1);
+  NodeId hi = std::max<NodeId>(cores.degeneracy, 1);
+  while (lo < hi) {
+    NodeId mid = lo + (hi - lo) / 2;
+    if (orientable_with_out_degree(g, mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+Orientation min_out_degree_orientation(const Graph& g, NodeId d) {
+  OrientFlow net(g, d);
+  const std::int64_t flow = net.dinic.max_flow(net.s, net.t);
+  ARBODS_CHECK_MSG(flow == static_cast<std::int64_t>(g.num_edges()),
+                   "graph not orientable with out-degree " << d);
+  std::vector<std::vector<NodeId>> out(g.num_nodes());
+  for (std::size_t e = 0; e < net.edges.size(); ++e) {
+    const Edge& edge = net.edges[e];
+    if (net.dinic.flow_on(net.edge_to_u_arc[e]) > 0) {
+      out[edge.u].push_back(edge.v);  // u pays for the edge: u -> v
+    } else {
+      ARBODS_CHECK(net.dinic.flow_on(net.edge_to_v_arc[e]) > 0);
+      out[edge.v].push_back(edge.u);
+    }
+  }
+  Orientation o(g, std::move(out));
+  o.validate();
+  return o;
+}
+
+Orientation optimal_orientation(const Graph& g) {
+  return min_out_degree_orientation(g, pseudoarboricity(g));
+}
+
+}  // namespace arbods

@@ -1,0 +1,28 @@
+// Exact minimum-max-out-degree orientation via max-flow.
+//
+// The minimum over orientations of the maximum out-degree equals the
+// pseudoarboricity p = ceil(max_S m_S / n_S), and p <= alpha <= p + 1
+// (Picard–Queyranne / Frank–Gyárfás). Together with the Nash–Williams
+// density lower bound this pins the arboricity of generated instances to
+// within one, which is all the experiments need.
+#pragma once
+
+#include "arboricity/orientation.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods {
+
+/// True iff g admits an orientation with out-degree <= d (flow check).
+bool orientable_with_out_degree(const Graph& g, NodeId d);
+
+/// Smallest d such that g is orientable with out-degree <= d.
+NodeId pseudoarboricity(const Graph& g);
+
+/// An orientation achieving out-degree <= d (d must be feasible).
+Orientation min_out_degree_orientation(const Graph& g, NodeId d);
+
+/// Convenience: orientation with the optimum out-degree.
+Orientation optimal_orientation(const Graph& g);
+
+}  // namespace arbods

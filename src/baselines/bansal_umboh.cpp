@@ -1,0 +1,32 @@
+#include "baselines/bansal_umboh.hpp"
+
+#include <algorithm>
+
+#include "baselines/simplex.hpp"
+#include "common/check.hpp"
+#include "graph/verify.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::baselines {
+
+BansalUmbohResult bansal_umboh_dominating_set(const Graph& g, NodeId alpha) {
+  ARBODS_CHECK(alpha >= 1);
+  WeightedGraph wg = WeightedGraph::uniform(Graph(g));
+  LpResult lp = solve_fractional_mds(wg);
+
+  const double threshold = 1.0 / (2.0 * static_cast<double>(alpha) + 1.0);
+  NodeSet s1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (lp.x[v] >= threshold - 1e-12) s1.push_back(v);
+
+  NodeSet set = s1;
+  for (NodeId v : undominated_nodes(g, s1)) set.push_back(v);
+  std::sort(set.begin(), set.end());
+
+  BansalUmbohResult res;
+  res.set = std::move(set);
+  res.lp_value = lp.objective;
+  return res;
+}
+
+}  // namespace arbods::baselines

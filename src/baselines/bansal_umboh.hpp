@@ -1,0 +1,31 @@
+// Bansal–Umboh (IPL 2017) LP-rounding for unweighted MDS on bounded
+// arboricity graphs, with the Dvořák (2019) parameter optimization that
+// yields the (2*alpha+1)-approximation the paper cites.
+//
+// Rounding: given an optimal fractional dominating set y,
+//   S1 = { v : y_v >= 1/(2*alpha+1) },
+//   S  = S1 ∪ { v : v undominated by S1 }.
+// |S| <= (2*alpha+1) * LP <= (2*alpha+1) * OPT on arboricity-alpha graphs.
+//
+// The LP is solved exactly with the simplex substrate, so this baseline is
+// the *centralized* comparator; the paper's distributed comparator is the
+// KMW06 LP-approximation pipeline whose round cost O(log^2 Delta / eps^4)
+// we quote analytically in the experiment tables.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::baselines {
+
+struct BansalUmbohResult {
+  NodeSet set;
+  double lp_value = 0.0;  // certified lower bound on OPT
+};
+
+/// Unweighted instance; alpha must upper-bound the arboricity for the
+/// guarantee to hold (the returned set is a valid dominating set for any
+/// alpha).
+BansalUmbohResult bansal_umboh_dominating_set(const Graph& g, NodeId alpha);
+
+}  // namespace arbods::baselines

@@ -1,0 +1,219 @@
+#include "baselines/distributed_greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace arbods::baselines {
+
+// ---------------------------------------------------------------- threshold
+
+void ThresholdGreedyMds::initialize(Network& net) {
+  const NodeId n = net.num_nodes();
+  in_set_.assign(n, false);
+  covered_.assign(n, false);
+  uncovered_degree_.resize(n);
+  for (NodeId v = 0; v < n; ++v) uncovered_degree_[v] = net.degree(v) + 1;
+  num_uncovered_ = n;
+  phase_ = 0;
+  max_phase_ = 2 + ceil_log2(static_cast<std::uint64_t>(net.graph().max_degree()) + 1);
+  stage_ = n == 0 ? Stage::kDone : Stage::kJoin;
+}
+
+void ThresholdGreedyMds::process_round(Network& net) {
+  const NodeId n = net.num_nodes();
+  switch (stage_) {
+    case Stage::kJoin: {
+      // Absorb "became covered" notices from the previous phase.
+      for (NodeId v = 0; v < n; ++v) {
+        for (const Message& m : net.inbox(v)) {
+          if (m.tag() == kTagCovered) {
+            ARBODS_CHECK(uncovered_degree_[v] > 0);
+            --uncovered_degree_[v];
+          }
+        }
+      }
+      const double theta =
+          (static_cast<double>(net.graph().max_degree()) + 1.0) /
+          std::pow(2.0, static_cast<double>(phase_));
+      const bool last_call = theta <= 1.0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (in_set_[v] || uncovered_degree_[v] == 0) continue;
+        if (static_cast<double>(uncovered_degree_[v]) >= theta ||
+            (last_call && uncovered_degree_[v] >= 1)) {
+          in_set_[v] = true;
+          bool was_uncovered = !covered_[v];
+          if (was_uncovered) {
+            covered_[v] = true;
+            --num_uncovered_;
+            --uncovered_degree_[v];
+          }
+          // One message per edge per round: the join flag also tells
+          // neighbors whether v just left the uncovered set.
+          net.broadcast(v, Message::tagged(kTagJoin).add_flag(was_uncovered));
+        }
+      }
+      ++phase_;
+      stage_ = Stage::kCoverUpdate;
+      break;
+    }
+
+    case Stage::kCoverUpdate: {
+      for (NodeId v = 0; v < n; ++v) {
+        bool newly_covered = false;
+        for (const Message& m : net.inbox(v)) {
+          if (m.tag() != kTagJoin) continue;
+          if (!covered_[v]) {
+            covered_[v] = true;
+            --num_uncovered_;
+            --uncovered_degree_[v];
+            newly_covered = true;
+          }
+          if (m.flag_at(1)) {  // the joiner itself left the uncovered set
+            ARBODS_CHECK(uncovered_degree_[v] > 0);
+            --uncovered_degree_[v];
+          }
+        }
+        if (newly_covered) net.broadcast(v, Message::tagged(kTagCovered));
+      }
+      stage_ = (num_uncovered_ == 0 || phase_ > max_phase_) ? Stage::kDone
+                                                            : Stage::kJoin;
+      ARBODS_CHECK_MSG(num_uncovered_ == 0 || phase_ <= max_phase_,
+                       "threshold greedy did not cover everything in "
+                           << max_phase_ << " phases");
+      break;
+    }
+
+    case Stage::kDone:
+      break;
+  }
+}
+
+bool ThresholdGreedyMds::finished(const Network& net) const {
+  (void)net;
+  return stage_ == Stage::kDone;
+}
+
+MdsResult ThresholdGreedyMds::result(const Network& net) const {
+  ARBODS_CHECK(stage_ == Stage::kDone);
+  MdsResult res;
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    if (in_set_[v]) res.dominating_set.push_back(v);
+  res.weight = net.weighted_graph().total_weight(res.dominating_set);
+  res.iterations = phase_;
+  res.stats = net.stats();
+  return res;
+}
+
+// ----------------------------------------------------------------- election
+
+void ElectionGreedyMds::initialize(Network& net) {
+  const NodeId n = net.num_nodes();
+  in_set_.assign(n, false);
+  covered_.assign(n, false);
+  self_nominated_.assign(n, false);
+  uncovered_degree_.assign(n, 0);
+  num_uncovered_ = n;
+  stage_ = n == 0 ? Stage::kDone : Stage::kUncov;
+  (void)net;
+}
+
+void ElectionGreedyMds::process_round(Network& net) {
+  const NodeId n = net.num_nodes();
+  switch (stage_) {
+    case Stage::kUncov: {
+      // (Later phases:) absorb joins, then uncovered nodes re-announce.
+      for (NodeId v = 0; v < n; ++v) {
+        for (const Message& m : net.inbox(v)) {
+          if (m.tag() == kTagJoin && !covered_[v]) {
+            covered_[v] = true;
+            --num_uncovered_;
+          }
+        }
+      }
+      if (num_uncovered_ == 0) {
+        stage_ = Stage::kDone;
+        break;
+      }
+      for (NodeId v = 0; v < n; ++v)
+        if (!covered_[v]) net.broadcast(v, Message::tagged(kTagUncov));
+      stage_ = Stage::kCount;
+      break;
+    }
+
+    case Stage::kCount: {
+      for (NodeId v = 0; v < n; ++v) {
+        NodeId count = covered_[v] ? 0 : 1;
+        for (const Message& m : net.inbox(v))
+          if (m.tag() == kTagUncov) ++count;
+        uncovered_degree_[v] = count;
+        net.broadcast(v, Message::tagged(kTagCount).add_level(count));
+      }
+      stage_ = Stage::kNominate;
+      break;
+    }
+
+    case Stage::kNominate: {
+      for (NodeId v = 0; v < n; ++v) {
+        self_nominated_[v] = false;
+        if (covered_[v]) continue;
+        NodeId best = v;
+        NodeId best_count = uncovered_degree_[v];
+        for (const Message& m : net.inbox(v)) {
+          if (m.tag() != kTagCount) continue;
+          const NodeId c = static_cast<NodeId>(m.level_at(1));
+          if (c > best_count || (c == best_count && m.sender() < best)) {
+            best = m.sender();
+            best_count = c;
+          }
+        }
+        if (best == v)
+          self_nominated_[v] = true;
+        else
+          net.send(v, best, Message::tagged(kTagNominate));
+      }
+      stage_ = Stage::kJoin;
+      break;
+    }
+
+    case Stage::kJoin: {
+      for (NodeId u = 0; u < n; ++u) {
+        bool nominated = self_nominated_[u];
+        for (const Message& m : net.inbox(u))
+          if (m.tag() == kTagNominate) nominated = true;
+        if (nominated && !in_set_[u]) {
+          in_set_[u] = true;
+          if (!covered_[u]) {
+            covered_[u] = true;
+            --num_uncovered_;
+          }
+          net.broadcast(u, Message::tagged(kTagJoin));
+        }
+      }
+      stage_ = Stage::kUncov;
+      break;
+    }
+
+    case Stage::kDone:
+      break;
+  }
+}
+
+bool ElectionGreedyMds::finished(const Network& net) const {
+  (void)net;
+  return stage_ == Stage::kDone;
+}
+
+MdsResult ElectionGreedyMds::result(const Network& net) const {
+  ARBODS_CHECK(stage_ == Stage::kDone);
+  MdsResult res;
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    if (in_set_[v]) res.dominating_set.push_back(v);
+  res.weight = net.weighted_graph().total_weight(res.dominating_set);
+  res.stats = net.stats();
+  return res;
+}
+
+}  // namespace arbods::baselines

@@ -1,0 +1,130 @@
+#include "baselines/exact.hpp"
+
+#include <algorithm>
+
+#include "baselines/greedy.hpp"
+#include "common/check.hpp"
+
+namespace arbods::baselines {
+
+namespace {
+
+struct Searcher {
+  const WeightedGraph& wg;
+  const Graph& g;
+  std::int64_t budget;
+  std::int64_t explored = 0;
+  bool aborted = false;
+
+  std::vector<int> cover_count;  // how many chosen nodes dominate v
+  std::vector<bool> chosen;
+  Weight current = 0;
+  Weight best = 0;
+  NodeSet best_set;
+
+  explicit Searcher(const WeightedGraph& w, std::int64_t node_budget)
+      : wg(w), g(w.graph()), budget(node_budget),
+        cover_count(w.num_nodes(), 0), chosen(w.num_nodes(), false) {}
+
+  void choose(NodeId v) {
+    chosen[v] = true;
+    current += wg.weight(v);
+    ++cover_count[v];
+    for (NodeId u : g.neighbors(v)) ++cover_count[u];
+  }
+
+  void unchoose(NodeId v) {
+    chosen[v] = false;
+    current -= wg.weight(v);
+    --cover_count[v];
+    for (NodeId u : g.neighbors(v)) --cover_count[u];
+  }
+
+  /// Lower bound on the additional weight needed: greedily pick pairwise
+  /// 2-separated undominated nodes; their cheapest dominators are disjoint.
+  Weight remaining_lower_bound() {
+    Weight bound = 0;
+    std::vector<bool> blocked(g.num_nodes(), false);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (cover_count[v] > 0 || blocked[v]) continue;
+      // tau over the *current* instance: cheapest node able to dominate v.
+      Weight tau = wg.weight(v);
+      for (NodeId u : g.neighbors(v)) tau = std::min(tau, wg.weight(u));
+      bound += tau;
+      // Block everything within distance 2 of v so dominator sets stay
+      // disjoint.
+      blocked[v] = true;
+      for (NodeId u : g.neighbors(v)) {
+        blocked[u] = true;
+        for (NodeId w2 : g.neighbors(u)) blocked[w2] = true;
+      }
+    }
+    return bound;
+  }
+
+  void dfs() {
+    if (aborted) return;
+    if (++explored > budget) {
+      aborted = true;
+      return;
+    }
+    if (current + remaining_lower_bound() >= best) return;
+    // First undominated node.
+    NodeId pivot = kInvalidNode;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (cover_count[v] == 0) {
+        pivot = v;
+        break;
+      }
+    }
+    if (pivot == kInvalidNode) {  // everything dominated: incumbent update
+      best = current;
+      best_set.clear();
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if (chosen[v]) best_set.push_back(v);
+      return;
+    }
+    // One of N+(pivot) must be chosen. Try cheapest-first for better
+    // incumbents early.
+    std::vector<NodeId> candidates{pivot};
+    for (NodeId u : g.neighbors(pivot)) candidates.push_back(u);
+    std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+      return wg.weight(a) != wg.weight(b) ? wg.weight(a) < wg.weight(b)
+                                          : a < b;
+    });
+    for (NodeId c : candidates) {
+      choose(c);
+      dfs();
+      unchoose(c);
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<ExactResult> exact_dominating_set(const WeightedGraph& wg,
+                                                std::int64_t node_budget) {
+  Searcher s(wg, node_budget);
+  // Seed the incumbent with greedy (+1 so an equal-weight optimum is still
+  // discovered and recorded by the search).
+  NodeSet greedy = greedy_dominating_set(wg);
+  const Weight greedy_weight = wg.total_weight(greedy);
+  s.best = greedy_weight + 1;
+  s.best_set = greedy;
+  s.dfs();
+  if (s.aborted) return std::nullopt;
+  ExactResult res;
+  if (s.best > greedy_weight) {
+    res.set = std::move(greedy);  // nothing beat it: greedy was optimal
+    res.weight = greedy_weight;
+  } else {
+    res.set = s.best_set;
+    res.weight = s.best;
+    std::sort(res.set.begin(), res.set.end());
+  }
+  res.nodes_explored = s.explored;
+  return res;
+}
+
+}  // namespace arbods::baselines

@@ -1,0 +1,60 @@
+#include "baselines/greedy.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace arbods::baselines {
+
+NodeSet greedy_dominating_set(const WeightedGraph& wg) {
+  const Graph& g = wg.graph();
+  const NodeId n = g.num_nodes();
+  std::vector<bool> dominated(n, false);
+  std::vector<NodeId> gain(n);  // # undominated nodes in N+(v)
+  for (NodeId v = 0; v < n; ++v) gain[v] = g.degree(v) + 1;
+
+  // Lazy priority queue keyed by weight/gain; stale entries are skipped by
+  // re-checking the stored gain against the current one.
+  struct Entry {
+    double ratio;
+    NodeId node;
+    NodeId gain_at_push;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) { return a.ratio > b.ratio; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (NodeId v = 0; v < n; ++v)
+    heap.push({static_cast<double>(wg.weight(v)) / gain[v], v, gain[v]});
+
+  NodeSet result;
+  NodeId num_dominated = 0;
+  auto mark = [&](NodeId u) {
+    if (dominated[u]) return;
+    dominated[u] = true;
+    ++num_dominated;
+    // u's domination reduces the gain of every node that could cover it.
+    if (gain[u] > 0) --gain[u];
+    for (NodeId w : g.neighbors(u))
+      if (gain[w] > 0) --gain[w];
+  };
+
+  while (num_dominated < n) {
+    ARBODS_CHECK(!heap.empty());
+    Entry e = heap.top();
+    heap.pop();
+    if (e.gain_at_push != gain[e.node]) {
+      if (gain[e.node] > 0)
+        heap.push({static_cast<double>(wg.weight(e.node)) / gain[e.node],
+                   e.node, gain[e.node]});
+      continue;
+    }
+    if (gain[e.node] == 0) continue;
+    result.push_back(e.node);
+    mark(e.node);
+    for (NodeId u : g.neighbors(e.node)) mark(u);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace arbods::baselines

@@ -1,0 +1,15 @@
+// Centralized greedy for weighted dominating set (Johnson 1974 /
+// Chvátal): repeatedly pick the node minimizing
+// weight / (#newly dominated nodes). ln(Delta+1)-approximation; the
+// classical quality reference for all experiments.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::baselines {
+
+/// Returns a dominating set (sorted). O(m log n)-ish with a lazy heap.
+NodeSet greedy_dominating_set(const WeightedGraph& wg);
+
+}  // namespace arbods::baselines

@@ -1,0 +1,174 @@
+#include "baselines/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace arbods::baselines {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+class Tableau {
+ public:
+  // Layout: columns [0, n) original, [n, n+m) surplus, [n+m, n+2m)
+  // artificial, column n+2m = rhs.
+  Tableau(int num_vars, const std::vector<SparseRow>& rows,
+          const std::vector<double>& rhs, const std::vector<double>& costs)
+      : n_(num_vars), m_(static_cast<int>(rows.size())),
+        width_(num_vars + 2 * static_cast<int>(rows.size()) + 1),
+        t_(rows.size(), std::vector<double>(width_, 0.0)),
+        cost_row_(width_, 0.0), basis_(rows.size()), costs_(costs) {
+    for (int i = 0; i < m_; ++i) {
+      for (const auto& [j, a] : rows[i]) t_[i][j] = a;
+      t_[i][n_ + i] = -1.0;       // surplus
+      t_[i][n_ + m_ + i] = 1.0;   // artificial
+      t_[i][width_ - 1] = rhs[i];
+      ARBODS_CHECK_MSG(rhs[i] >= 0.0, "rhs must be nonnegative");
+      basis_[i] = n_ + m_ + i;
+    }
+  }
+
+  bool solve() {
+    // Phase 1: minimize the sum of artificials.
+    std::fill(cost_row_.begin(), cost_row_.end(), 0.0);
+    for (int j = n_ + m_; j < n_ + 2 * m_; ++j) cost_row_[j] = 1.0;
+    price_out();
+    run_pivots(/*allow_artificial_entering=*/false);
+    if (objective() > 1e-7) return false;  // infeasible
+    drive_out_artificials();
+
+    // Phase 2: the real objective.
+    std::fill(cost_row_.begin(), cost_row_.end(), 0.0);
+    for (int j = 0; j < n_; ++j) cost_row_[j] = costs_[j];
+    price_out();
+    run_pivots(/*allow_artificial_entering=*/false);
+    return true;
+  }
+
+  double objective() const { return -cost_row_[width_ - 1]; }
+
+  std::vector<double> primal() const {
+    std::vector<double> x(n_, 0.0);
+    for (int i = 0; i < m_; ++i)
+      if (basis_[i] < n_) x[basis_[i]] = t_[i][width_ - 1];
+    return x;
+  }
+
+ private:
+  // Make reduced costs of basic columns zero.
+  void price_out() {
+    for (int i = 0; i < m_; ++i) {
+      const double c = cost_row_[basis_[i]];
+      if (std::fabs(c) > 0.0)
+        for (int j = 0; j < width_; ++j) cost_row_[j] -= c * t_[i][j];
+    }
+  }
+
+  void pivot(int row, int col) {
+    const double p = t_[row][col];
+    for (int j = 0; j < width_; ++j) t_[row][j] /= p;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double f = t_[i][col];
+      if (std::fabs(f) > 0.0)
+        for (int j = 0; j < width_; ++j) t_[i][j] -= f * t_[row][j];
+    }
+    const double f = cost_row_[col];
+    if (std::fabs(f) > 0.0)
+      for (int j = 0; j < width_; ++j) cost_row_[j] -= f * t_[row][j];
+    basis_[row] = col;
+  }
+
+  void run_pivots(bool allow_artificial_entering) {
+    const int limit_col = allow_artificial_entering ? width_ - 1 : n_ + m_;
+    for (;;) {
+      // Bland: smallest-index column with negative reduced cost.
+      int enter = -1;
+      for (int j = 0; j < limit_col; ++j) {
+        if (cost_row_[j] < -kTol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return;  // optimal
+      // Ratio test (Bland tie-break: smallest basis variable).
+      int leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        if (t_[i][enter] > kTol) {
+          const double ratio = t_[i][width_ - 1] / t_[i][enter];
+          if (ratio < best_ratio - kTol ||
+              (ratio < best_ratio + kTol &&
+               (leave < 0 || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      ARBODS_CHECK_MSG(leave >= 0, "LP unbounded (covering LPs never are)");
+      pivot(leave, enter);
+    }
+  }
+
+  // After phase 1, swap any basic artificial for a non-artificial column.
+  void drive_out_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_ + m_) continue;
+      int col = -1;
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (std::fabs(t_[i][j]) > kTol) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) pivot(i, col);
+      // else: the row is redundant (all-zero); the artificial stays basic
+      // at value 0 and never re-enters with a nonzero value.
+    }
+  }
+
+  int n_, m_, width_;
+  std::vector<std::vector<double>> t_;
+  std::vector<double> cost_row_;
+  std::vector<int> basis_;
+  std::vector<double> costs_;
+};
+
+}  // namespace
+
+LpResult solve_covering_lp(int num_vars, const std::vector<SparseRow>& rows,
+                           const std::vector<double>& rhs,
+                           const std::vector<double>& costs) {
+  ARBODS_CHECK(rows.size() == rhs.size());
+  ARBODS_CHECK(static_cast<int>(costs.size()) == num_vars);
+  Tableau tab(num_vars, rows, rhs, costs);
+  LpResult res;
+  res.feasible = tab.solve();
+  if (res.feasible) {
+    res.objective = tab.objective();
+    res.x = tab.primal();
+  }
+  return res;
+}
+
+LpResult solve_fractional_mds(const WeightedGraph& wg) {
+  const Graph& g = wg.graph();
+  const int n = static_cast<int>(g.num_nodes());
+  std::vector<SparseRow> rows(n);
+  std::vector<double> rhs(n, 1.0);
+  std::vector<double> costs(n);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    rows[v].push_back({static_cast<int>(v), 1.0});
+    for (NodeId u : g.neighbors(v)) rows[v].push_back({static_cast<int>(u), 1.0});
+    costs[v] = static_cast<double>(wg.weight(v));
+  }
+  LpResult res = solve_covering_lp(n, rows, rhs, costs);
+  ARBODS_CHECK_MSG(res.feasible, "dominating LP must be feasible");
+  return res;
+}
+
+}  // namespace arbods::baselines

@@ -1,0 +1,36 @@
+// Dense two-phase primal simplex with Bland's rule, for the small covering
+// LPs the experiments solve exactly (fractional dominating set).
+//
+// Solves   min c.x   s.t.  A.x >= b,  x >= 0
+// by introducing surplus and artificial variables. Bland's rule guarantees
+// termination; intended for instances up to a few hundred rows.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::baselines {
+
+struct LpResult {
+  bool feasible = false;
+  double objective = 0.0;
+  std::vector<double> x;  // primal solution (original variables only)
+};
+
+/// Sparse row: list of (column, coefficient).
+using SparseRow = std::vector<std::pair<int, double>>;
+
+/// General covering-form solver.
+LpResult solve_covering_lp(int num_vars, const std::vector<SparseRow>& rows,
+                           const std::vector<double>& rhs,
+                           const std::vector<double>& costs);
+
+/// The fractional weighted dominating set LP:
+///   min sum_v w_v y_v   s.t.  sum_{u in N+(v)} y_u >= 1  for all v, y >= 0.
+/// Its optimum is a lower bound on OPT (integral), used as a certified
+/// denominator in the experiment tables.
+LpResult solve_fractional_mds(const WeightedGraph& wg);
+
+}  // namespace arbods::baselines

@@ -1,0 +1,119 @@
+#include "baselines/tree_dp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/check.hpp"
+#include "graph/stats.hpp"
+
+namespace arbods::baselines {
+
+namespace {
+
+constexpr Weight kInf = std::numeric_limits<Weight>::max() / 4;
+
+enum State : int { kIn = 0, kCovered = 1, kExposed = 2 };
+
+}  // namespace
+
+TreeDpResult tree_dominating_set(const WeightedGraph& wg) {
+  const Graph& g = wg.graph();
+  ARBODS_CHECK_MSG(is_forest(g), "tree_dominating_set requires a forest");
+  const NodeId n = g.num_nodes();
+
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<NodeId> bfs_order;
+  bfs_order.reserve(n);
+  std::vector<bool> visited(n, false);
+
+  // dp[v][state]; choice bookkeeping for reconstruction.
+  std::vector<std::array<Weight, 3>> dp(n);
+  // For kCovered we must force one child IN; record which.
+  std::vector<NodeId> forced_child(n, kInvalidNode);
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    // BFS to fix parents and an order whose reverse is a post-order.
+    const std::size_t comp_begin = bfs_order.size();
+    visited[root] = true;
+    bfs_order.push_back(root);
+    for (std::size_t i = comp_begin; i < bfs_order.size(); ++i) {
+      NodeId u = bfs_order[i];
+      for (NodeId v : g.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          parent[v] = u;
+          bfs_order.push_back(v);
+        }
+      }
+    }
+    // Bottom-up DP.
+    for (std::size_t i = bfs_order.size(); i-- > comp_begin;) {
+      NodeId v = bfs_order[i];
+      Weight in = wg.weight(v);
+      Weight covered = 0;      // provisional: no child forced IN yet
+      Weight exposed = 0;
+      Weight best_force = kInf;  // min extra cost to force one child IN
+      NodeId force = kInvalidNode;
+      for (NodeId c : g.neighbors(v)) {
+        if (c == parent[v]) continue;
+        const auto& d = dp[c];
+        in += std::min({d[kIn], d[kCovered], d[kExposed]});
+        const Weight child_free = std::min(d[kIn], d[kCovered]);
+        covered = std::min(covered + child_free, kInf);
+        exposed = std::min(exposed + child_free, kInf);
+        const Weight force_cost =
+            d[kIn] >= kInf ? kInf : d[kIn] - child_free;
+        if (force_cost < best_force) {
+          best_force = force_cost;
+          force = c;
+        }
+      }
+      if (force == kInvalidNode) {
+        covered = kInf;  // leaf (or no children): cannot be child-covered
+      } else {
+        covered = std::min(covered + best_force, kInf);
+      }
+      dp[v] = {in, covered, exposed};
+      forced_child[v] = force;
+    }
+  }
+
+  // Top-down reconstruction.
+  TreeDpResult res;
+  std::vector<int> state(n, -1);
+  for (std::size_t i = 0; i < bfs_order.size(); ++i) {
+    NodeId v = bfs_order[i];
+    if (parent[v] == kInvalidNode) {
+      state[v] = dp[v][kIn] <= dp[v][kCovered] ? kIn : kCovered;
+    }
+    const int sv = state[v];
+    ARBODS_CHECK(sv >= 0);
+    if (sv == kIn) res.set.push_back(v);
+    // Assign children states consistent with sv.
+    for (NodeId c : g.neighbors(v)) {
+      if (c == parent[v]) continue;
+      const auto& d = dp[c];
+      if (sv == kIn) {
+        // child free among all three states
+        if (d[kExposed] <= d[kIn] && d[kExposed] <= d[kCovered])
+          state[c] = kExposed;
+        else
+          state[c] = d[kIn] <= d[kCovered] ? kIn : kCovered;
+      } else if (sv == kExposed) {
+        state[c] = d[kIn] <= d[kCovered] ? kIn : kCovered;
+      } else {  // kCovered: the forced child must be IN, others take the min
+        if (c == forced_child[v])
+          state[c] = kIn;
+        else
+          state[c] = d[kIn] <= d[kCovered] ? kIn : kCovered;
+      }
+    }
+  }
+  std::sort(res.set.begin(), res.set.end());
+  res.weight = wg.total_weight(res.set);
+  return res;
+}
+
+}  // namespace arbods::baselines

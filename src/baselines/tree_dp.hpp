@@ -1,0 +1,22 @@
+// Exact weighted minimum dominating set on forests via the classic
+// three-state tree DP:
+//   IN        v is in the set
+//   COVERED   v not in the set, dominated by a child
+//   EXPOSED   v not in the set, not yet dominated (parent must join)
+// Linear time; the ground truth for all arboricity-1 experiments.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::baselines {
+
+struct TreeDpResult {
+  NodeSet set;
+  Weight weight = 0;
+};
+
+/// wg.graph() must be a forest (CheckError otherwise).
+TreeDpResult tree_dominating_set(const WeightedGraph& wg);
+
+}  // namespace arbods::baselines

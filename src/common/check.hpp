@@ -1,0 +1,53 @@
+// Lightweight runtime checking.
+//
+// ARBODS_CHECK is always on (it guards API contracts and invariants whose
+// violation would silently corrupt results); ARBODS_DCHECK compiles out in
+// NDEBUG builds and is for hot-loop assertions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace arbods {
+
+/// Thrown when a checked invariant or precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace arbods
+
+#define ARBODS_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::arbods::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define ARBODS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream arbods_os_;                                    \
+      arbods_os_ << msg;                                                \
+      ::arbods::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     arbods_os_.str());                 \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define ARBODS_DCHECK(expr) ((void)0)
+#else
+#define ARBODS_DCHECK(expr) ARBODS_CHECK(expr)
+#endif

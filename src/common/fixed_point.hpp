@@ -1,0 +1,45 @@
+// Quantized floating-point codec for CONGEST messages.
+//
+// The paper's packing values are reals of the form w * (1+eps)^k / (Delta+1)
+// with integer w <= n^c; they fit in O(log n) bits. To make that concrete in
+// the simulator, real-valued message fields are encoded as
+// (sign 1 bit, exponent `exp_bits`, mantissa `mant_bits`) — a miniature
+// custom float. Encoding is value-lossy (round to nearest) but the relative
+// error is 2^-mant_bits, far below the (1+eps) granularity the algorithms
+// care about; tests verify the round-trip error bound.
+#pragma once
+
+#include <cstdint>
+
+namespace arbods {
+
+/// Codec for a fixed (exp_bits, mant_bits) layout.
+class FixedPointCodec {
+ public:
+  /// exp_bits in [2, 11], mant_bits in [1, 52].
+  FixedPointCodec(int exp_bits, int mant_bits);
+
+  /// Total encoded width: 1 + exp_bits + mant_bits.
+  int bit_width() const { return 1 + exp_bits_ + mant_bits_; }
+
+  /// Encodes v (round-to-nearest; saturates to the representable range;
+  /// non-finite inputs are rejected with CheckError).
+  std::uint64_t encode(double v) const;
+
+  /// Decodes a value previously produced by encode().
+  double decode(std::uint64_t bits) const;
+
+  /// Upper bound on relative round-trip error for normal values.
+  double relative_error_bound() const;
+
+ private:
+  int exp_bits_;
+  int mant_bits_;
+  int bias_;
+};
+
+/// The default codec used for packing values in messages: 6 exponent bits
+/// (range ~2^-31 .. 2^32) and 25 mantissa bits => 32-bit fields.
+const FixedPointCodec& default_value_codec();
+
+}  // namespace arbods

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// Library code logs sparingly (algorithms are silent by default); benches
+// and examples raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace arbods {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace arbods
+
+#define ARBODS_LOG(level) ::arbods::detail::LogLine(::arbods::LogLevel::level)

@@ -1,0 +1,61 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+int floor_log2(std::uint64_t x) {
+  ARBODS_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) {
+  ARBODS_CHECK(x >= 1);
+  int f = floor_log2(x);
+  return ((std::uint64_t{1} << f) == x) ? f : f + 1;
+}
+
+int bit_width_for(std::uint64_t x) {
+  if (x == 0) return 1;
+  return floor_log2(x) + 1;
+}
+
+int ceil_log_base(double base, double x) {
+  ARBODS_CHECK(base > 1.0);
+  ARBODS_CHECK(x >= 1.0);
+  if (x <= 1.0) return 0;
+  // Start from the float estimate, then fix up with exact comparisons so the
+  // result is insensitive to log() rounding.
+  int r = std::max(0, static_cast<int>(std::ceil(std::log(x) / std::log(base))));
+  while (std::pow(base, r) < x) ++r;
+  while (r > 0 && std::pow(base, r - 1) >= x) --r;
+  return r;
+}
+
+std::int64_t ipow_saturating(std::int64_t base, int exp) {
+  ARBODS_CHECK(base >= 0 && exp >= 0);
+  std::int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && result > std::numeric_limits<std::int64_t>::max() / base)
+      return std::numeric_limits<std::int64_t>::max();
+    result *= base;
+  }
+  return result;
+}
+
+bool approx_equal(double a, double b, double tol) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+bool leq_with_slack(double a, double b, double tol) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return a <= b + tol * scale;
+}
+
+}  // namespace arbods

@@ -1,0 +1,31 @@
+// Small integer/float math helpers used throughout the library.
+#pragma once
+
+#include <cstdint>
+
+namespace arbods {
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
+int ceil_log2(std::uint64_t x);
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// Number of bits needed to represent values in [0, x] (at least 1).
+int bit_width_for(std::uint64_t x);
+
+/// Smallest integer r >= 0 with base^r >= x  (base > 1, x >= 1).
+/// Computed with integer-free logic on doubles plus verification.
+int ceil_log_base(double base, double x);
+
+/// Integer power with overflow saturation to INT64_MAX.
+std::int64_t ipow_saturating(std::int64_t base, int exp);
+
+/// True if |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// a <= b allowing tol relative slack (for checking packing feasibility
+/// computed in floating point).
+bool leq_with_slack(double a, double b, double tol = 1e-9);
+
+}  // namespace arbods

@@ -1,0 +1,66 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomized algorithms in this library take an explicit 64-bit seed and
+// derive per-node sub-streams with split(); runs are exactly reproducible
+// across platforms (we avoid std::uniform_*_distribution, whose output is
+// implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+/// SplitMix64: used for seeding and cheap hashing of stream ids.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mix of a value (one splitmix64 step from `x`).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** by Blackman & Vigna. Fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  /// Seeds the four state words via SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Unbiased (rejection sampling).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bernoulli(double p);
+
+  /// Derives an independent generator for stream `stream_id`.
+  /// Deterministic function of (this seed, stream_id); does not advance *this.
+  Rng split(std::uint64_t stream_id) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, n) (k <= n).
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+ private:
+  std::uint64_t seed_ = 0;  // retained so split() is a pure function of seed
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace arbods

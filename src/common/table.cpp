@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ARBODS_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ARBODS_CHECK_MSG(cells.size() == headers_.size(),
+                   "row arity " << cells.size() << " != header arity "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_int(long long v) { return std::to_string(v); }
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::ostringstream& os) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  emit_row(headers_, os);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row, os);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_markdown() << "\n"; }
+
+}  // namespace arbods

@@ -1,0 +1,37 @@
+// Aligned-markdown table printer for the experiment harness.
+//
+// Every bench binary emits its results through this so EXPERIMENTS.md rows
+// can be pasted verbatim from bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arbods {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatters.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders as a GitHub-flavored markdown table with aligned columns.
+  std::string to_markdown() const;
+
+  /// Prints to the stream (markdown) followed by a blank line.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace arbods

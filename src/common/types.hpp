@@ -1,0 +1,37 @@
+// Basic scalar types shared across the library.
+//
+// The whole code base indexes nodes with a dense 32-bit id in [0, n).
+// Weights are 64-bit integers; the paper assumes positive integer weights
+// bounded by n^c for a constant c, and all our generators respect that.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace arbods {
+
+/// Dense node identifier in [0, n).
+using NodeId = std::uint32_t;
+
+/// Node weight. Positive integer (the unweighted problem uses weight 1).
+using Weight = std::int64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "unknown / infinite weight".
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::max();
+
+/// An undirected edge as an (unordered) pair of endpoints.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A set of nodes represented as a sorted vector of ids.
+using NodeSet = std::vector<NodeId>;
+
+}  // namespace arbods

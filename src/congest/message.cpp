@@ -1,0 +1,92 @@
+#include "congest/message.hpp"
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+int MessageSizeModel::width_of(FieldKind kind) const {
+  switch (kind) {
+    case FieldKind::kNodeId: return id_bits;
+    case FieldKind::kWeight: return weight_bits;
+    case FieldKind::kLevel: return level_bits;
+    case FieldKind::kFlag: return flag_bits;
+    case FieldKind::kReal: return real_bits;
+    case FieldKind::kTag: return tag_bits;
+  }
+  return 0;
+}
+
+Message Message::tagged(int tag) {
+  Message m;
+  m.fields_.push_back({FieldKind::kTag, tag, 0.0});
+  return m;
+}
+
+Message& Message::add_id(NodeId v) {
+  fields_.push_back({FieldKind::kNodeId, static_cast<std::int64_t>(v), 0.0});
+  return *this;
+}
+
+Message& Message::add_weight(Weight w) {
+  fields_.push_back({FieldKind::kWeight, w, 0.0});
+  return *this;
+}
+
+Message& Message::add_level(std::int64_t level) {
+  fields_.push_back({FieldKind::kLevel, level, 0.0});
+  return *this;
+}
+
+Message& Message::add_flag(bool b) {
+  fields_.push_back({FieldKind::kFlag, b ? 1 : 0, 0.0});
+  return *this;
+}
+
+Message& Message::add_real(double x) {
+  fields_.push_back({FieldKind::kReal, 0, x});
+  return *this;
+}
+
+const Field& Message::field_checked(std::size_t i, FieldKind kind) const {
+  ARBODS_CHECK_MSG(i < fields_.size(), "field index " << i << " out of range");
+  ARBODS_CHECK_MSG(fields_[i].kind == kind, "field " << i << " kind mismatch");
+  return fields_[i];
+}
+
+int Message::tag() const {
+  if (fields_.empty() || fields_[0].kind != FieldKind::kTag) return -1;
+  return static_cast<int>(fields_[0].ivalue);
+}
+
+NodeId Message::id_at(std::size_t i) const {
+  return static_cast<NodeId>(field_checked(i, FieldKind::kNodeId).ivalue);
+}
+
+Weight Message::weight_at(std::size_t i) const {
+  return field_checked(i, FieldKind::kWeight).ivalue;
+}
+
+std::int64_t Message::level_at(std::size_t i) const {
+  return field_checked(i, FieldKind::kLevel).ivalue;
+}
+
+bool Message::flag_at(std::size_t i) const {
+  return field_checked(i, FieldKind::kFlag).ivalue != 0;
+}
+
+double Message::real_at(std::size_t i) const {
+  return field_checked(i, FieldKind::kReal).rvalue;
+}
+
+int Message::bit_size(const MessageSizeModel& model) const {
+  int bits = 0;
+  for (const Field& f : fields_) bits += model.width_of(f.kind);
+  return bits;
+}
+
+void Message::quantize_reals(const FixedPointCodec& codec) {
+  for (Field& f : fields_)
+    if (f.kind == FieldKind::kReal) f.rvalue = codec.decode(codec.encode(f.rvalue));
+}
+
+}  // namespace arbods

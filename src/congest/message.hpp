@@ -1,0 +1,89 @@
+// CONGEST messages with explicit bit accounting.
+//
+// A message is a sequence of typed fields. Field widths come from a
+// MessageSizeModel derived from the instance (ids: ceil(log2 n) bits,
+// weights: bits of the max weight, etc.), so a message's size in bits is
+// well-defined and the Network can enforce the CONGEST O(log n) cap.
+//
+// Real-valued fields carry packing values. They are quantized through
+// FixedPointCodec at send time — receivers observe only the quantized
+// value, so an algorithm cannot smuggle extra information through the
+// mantissa of a double.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/types.hpp"
+
+namespace arbods {
+
+enum class FieldKind : std::uint8_t {
+  kNodeId,   // a node identifier
+  kWeight,   // a node weight
+  kLevel,    // a small iteration counter / level number
+  kFlag,     // one bit
+  kReal,     // quantized real (packing value)
+  kTag,      // message type discriminator (small enum)
+};
+
+/// Per-instance field widths in bits.
+struct MessageSizeModel {
+  int id_bits = 32;
+  int weight_bits = 32;
+  int level_bits = 16;
+  int flag_bits = 1;
+  int real_bits = 32;
+  int tag_bits = 4;
+
+  int width_of(FieldKind kind) const;
+};
+
+struct Field {
+  FieldKind kind;
+  std::int64_t ivalue = 0;  // used by all kinds except kReal
+  double rvalue = 0.0;      // used by kReal
+};
+
+class Message {
+ public:
+  Message() = default;
+
+  /// Tags let one algorithm multiplex message types; by convention the tag
+  /// is the first field.
+  static Message tagged(int tag);
+
+  Message& add_id(NodeId v);
+  Message& add_weight(Weight w);
+  Message& add_level(std::int64_t level);
+  Message& add_flag(bool b);
+  Message& add_real(double x);
+
+  std::size_t num_fields() const { return fields_.size(); }
+
+  /// Typed accessors; kind mismatches are contract violations.
+  int tag() const;  // tag of field 0 (kTag); -1 if untagged
+  NodeId id_at(std::size_t i) const;
+  Weight weight_at(std::size_t i) const;
+  std::int64_t level_at(std::size_t i) const;
+  bool flag_at(std::size_t i) const;
+  double real_at(std::size_t i) const;
+
+  NodeId sender() const { return sender_; }
+
+  /// Total width under the given model.
+  int bit_size(const MessageSizeModel& model) const;
+
+  /// Rounds every real field through the codec (called by the Network).
+  void quantize_reals(const FixedPointCodec& codec);
+
+ private:
+  friend class Network;
+  NodeId sender_ = kInvalidNode;
+  std::vector<Field> fields_;
+
+  const Field& field_checked(std::size_t i, FieldKind kind) const;
+};
+
+}  // namespace arbods

@@ -1,0 +1,99 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace arbods {
+
+Network::Network(const WeightedGraph& wg, CongestConfig config)
+    : wg_(&wg), config_(config) {
+  const NodeId n = wg.num_nodes();
+  size_model_.id_bits = bit_width_for(n == 0 ? 1 : n - 1);
+  size_model_.weight_bits = wg.weight_bits();
+  // Levels count (1+eps)-steps; 2 * log2(n * W) covers every algorithm here.
+  size_model_.level_bits =
+      std::min(31, 2 * (bit_width_for(n + 1) + size_model_.weight_bits));
+  size_model_.real_bits = default_value_codec().bit_width();
+  if (config_.max_message_bits_override > 0) {
+    max_message_bits_ = config_.max_message_bits_override;
+  } else {
+    max_message_bits_ =
+        std::max(64, config_.log_factor * ceil_log2(static_cast<std::uint64_t>(n) + 1));
+  }
+  inboxes_.resize(n);
+  outboxes_.resize(n);
+  node_rngs_.reserve(n);
+  Rng base(config_.seed);
+  for (NodeId v = 0; v < n; ++v) node_rngs_.push_back(base.split(v));
+}
+
+Rng& Network::rng(NodeId v) {
+  ARBODS_DCHECK(v < num_nodes());
+  return node_rngs_[v];
+}
+
+void Network::account(const Message& m) {
+  const int bits = m.bit_size(size_model_);
+  if (config_.enforce_message_size) {
+    ARBODS_CHECK_MSG(bits <= max_message_bits_,
+                     "CONGEST violation: message of " << bits << " bits > cap "
+                                                      << max_message_bits_);
+  }
+  ++stats_.messages;
+  stats_.total_bits += bits;
+  stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+}
+
+void Network::send(NodeId from, NodeId to, Message m) {
+  ARBODS_CHECK_MSG(graph().has_edge(from, to),
+                   "send along non-edge (" << from << "," << to << ")");
+  if (config_.quantize_reals) m.quantize_reals(default_value_codec());
+  m.sender_ = from;
+  account(m);
+  outboxes_[to].push_back(std::move(m));
+}
+
+void Network::broadcast(NodeId from, Message m) {
+  if (config_.quantize_reals) m.quantize_reals(default_value_codec());
+  m.sender_ = from;
+  for (NodeId to : neighbors(from)) {
+    account(m);
+    outboxes_[to].push_back(m);
+  }
+}
+
+std::span<const Message> Network::inbox(NodeId v) const {
+  ARBODS_DCHECK(v < num_nodes());
+  return inboxes_[v];
+}
+
+void Network::flip_buffers() {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    inboxes_[v].clear();
+    std::swap(inboxes_[v], outboxes_[v]);
+  }
+}
+
+RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {
+  stats_ = RunStats{};
+  round_ = 0;
+  for (auto& box : inboxes_) box.clear();
+  for (auto& box : outboxes_) box.clear();
+
+  algo.initialize(*this);
+  while (!algo.finished(*this)) {
+    if (stats_.rounds >= max_rounds) {
+      stats_.hit_round_limit = true;
+      break;
+    }
+    flip_buffers();
+    ++round_;
+    ++stats_.rounds;
+    algo.process_round(*this);
+  }
+  return stats_;
+}
+
+}  // namespace arbods

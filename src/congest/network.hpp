@@ -1,0 +1,126 @@
+// Round-synchronous CONGEST network simulator.
+//
+// Execution model (matching Section 2 of the paper):
+//   * The communication graph equals the input graph.
+//   * Time advances in synchronous rounds. In every round each node may
+//     send one message per incident edge (possibly different per edge);
+//     messages are delivered at the start of the next round.
+//   * Message width is capped at O(log n) bits: `max_message_bits`
+//     (default 4 * ceil(log2(n+1)), at least 32). Oversized sends throw.
+//   * Initially a node knows only: its id, its weight, its neighbor count,
+//     and the globally known parameters the algorithm is promised
+//     (Delta, alpha, n, eps) — what an algorithm reads is by discipline
+//     restricted to the NodeView API plus its own per-node state.
+//
+// A DistributedAlgorithm owns all per-node state (struct-of-vectors) and is
+// driven by Network::run(). This keeps the hot loop virtual-call-free per
+// node and allocation-free per round, while the NodeView/send API preserves
+// the locality discipline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "congest/message.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods {
+
+struct CongestConfig {
+  /// Message cap = max(64, log_factor * ceil(log2(n+1))) bits, unless
+  /// explicitly overridden by max_message_bits_override.
+  int log_factor = 4;
+  int max_message_bits_override = 0;  // 0 = derive from log_factor
+  /// Enforce the cap (disable only for diagnostics).
+  bool enforce_message_size = true;
+  /// Quantize kReal fields through the fixed-point codec at send time.
+  bool quantize_reals = true;
+  /// Seed for all per-node randomness.
+  std::uint64_t seed = 0xa5a5a5a5ULL;
+};
+
+struct RunStats {
+  std::int64_t rounds = 0;            // process_round invocations
+  std::int64_t messages = 0;          // per-edge message deliveries
+  std::int64_t total_bits = 0;        // sum of message widths
+  int max_message_bits = 0;           // widest single message observed
+  bool hit_round_limit = false;
+};
+
+class Network;
+
+/// Base class for round-synchronous distributed algorithms.
+///
+/// Contract: `initialize` and `process_round` must treat per-node state in
+/// a local manner — the code for node v may read only v's own state, v's
+/// inbox, and the public instance parameters. Verified by code review and
+/// by the message-size/round statistics the simulator reports.
+class DistributedAlgorithm {
+ public:
+  virtual ~DistributedAlgorithm() = default;
+
+  /// Set up per-node state; may send round-0 messages.
+  virtual void initialize(Network& net) = 0;
+
+  /// One synchronous round: every node reads its inbox and sends.
+  virtual void process_round(Network& net) = 0;
+
+  /// Global termination predicate (checked by the driver after each round;
+  /// in a real network this is knowledge of the a-priori round bound).
+  virtual bool finished(const Network& net) const = 0;
+};
+
+class Network {
+ public:
+  Network(const WeightedGraph& wg, CongestConfig config = {});
+
+  // --- topology / instance access (public parameters) ---
+  NodeId num_nodes() const { return wg_->num_nodes(); }
+  const Graph& graph() const { return wg_->graph(); }
+  const WeightedGraph& weighted_graph() const { return *wg_; }
+  Weight weight(NodeId v) const { return wg_->weight(v); }
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return wg_->graph().neighbors(v);
+  }
+  NodeId degree(NodeId v) const { return wg_->graph().degree(v); }
+
+  int max_message_bits() const { return max_message_bits_; }
+  const MessageSizeModel& size_model() const { return size_model_; }
+
+  /// Per-node deterministic RNG stream.
+  Rng& rng(NodeId v);
+
+  // --- communication (called from within process_round/initialize) ---
+  void send(NodeId from, NodeId to, Message m);
+  void broadcast(NodeId from, Message m);
+
+  /// Messages delivered to v at the start of the current round.
+  std::span<const Message> inbox(NodeId v) const;
+
+  std::int64_t current_round() const { return round_; }
+
+  // --- driving ---
+  /// Runs until algo.finished() or max_rounds; returns statistics.
+  RunStats run(DistributedAlgorithm& algo, std::int64_t max_rounds = 1'000'000);
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  void flip_buffers();
+  void account(const Message& m);
+
+  const WeightedGraph* wg_;
+  CongestConfig config_;
+  MessageSizeModel size_model_;
+  int max_message_bits_ = 0;
+  std::int64_t round_ = 0;
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::vector<Message>> outboxes_;
+  std::vector<Rng> node_rngs_;
+  RunStats stats_;
+};
+
+}  // namespace arbods

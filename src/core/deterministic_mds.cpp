@@ -1,0 +1,104 @@
+#include "core/deterministic_mds.hpp"
+
+#include "common/check.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods {
+
+double theorem11_lambda(NodeId alpha, double eps) {
+  return 1.0 / ((2.0 * static_cast<double>(alpha) + 1.0) * (1.0 + eps));
+}
+
+namespace {
+PartialDsParams make_partial_params(const DeterministicMdsParams& p) {
+  PartialDsParams pp;
+  pp.eps = p.eps;
+  pp.alpha = p.alpha;
+  pp.lambda = p.lambda.value_or(theorem11_lambda(p.alpha, p.eps));
+  return pp;
+}
+}  // namespace
+
+DeterministicMds::DeterministicMds(DeterministicMdsParams params)
+    : params_(params), partial_(make_partial_params(params)) {}
+
+void DeterministicMds::initialize(Network& net) {
+  stage_ = net.num_nodes() == 0 ? Stage::kDone : Stage::kPartial;
+  in_final_.assign(net.num_nodes(), false);
+  partial_.initialize(net);
+}
+
+void DeterministicMds::process_round(Network& net) {
+  const NodeId n = net.num_nodes();
+  switch (stage_) {
+    case Stage::kPartial: {
+      partial_.process_round(net);
+      if (!partial_.finished(net)) break;
+      for (NodeId v = 0; v < n; ++v) in_final_[v] = partial_.in_partial_set()[v];
+      // Completion starts next round; kSelf needs no communication at all
+      // but we keep one announce round so neighbors learn their dominator
+      // (each node must know whether it is in the output set — it does —
+      // and the round count stays O(1) extra either way).
+      stage_ = params_.completion == CompletionMode::kSelf
+                   ? Stage::kCompletionJoin
+                   : Stage::kRequest;
+      break;
+    }
+
+    case Stage::kRequest: {
+      // Every undominated v asks the tau-witness in N+(v) to join.
+      for (NodeId v = 0; v < n; ++v) {
+        if (partial_.dominated()[v]) continue;
+        const NodeId target = partial_.tau_witness()[v];
+        if (target == v) {
+          in_final_[v] = true;  // v itself carries tau_v
+        } else {
+          net.send(v, target, Message::tagged(kTagRequest));
+        }
+      }
+      stage_ = Stage::kCompletionJoin;
+      break;
+    }
+
+    case Stage::kCompletionJoin: {
+      if (params_.completion == CompletionMode::kSelf) {
+        for (NodeId v = 0; v < n; ++v)
+          if (!partial_.dominated()[v]) in_final_[v] = true;
+      } else {
+        for (NodeId u = 0; u < n; ++u) {
+          for (const Message& m : net.inbox(u)) {
+            if (m.tag() == kTagRequest) {
+              in_final_[u] = true;
+              break;
+            }
+          }
+        }
+      }
+      stage_ = Stage::kDone;
+      break;
+    }
+
+    case Stage::kDone:
+      break;
+  }
+}
+
+bool DeterministicMds::finished(const Network& net) const {
+  (void)net;
+  return stage_ == Stage::kDone;
+}
+
+MdsResult DeterministicMds::result(const Network& net) const {
+  ARBODS_CHECK(stage_ == Stage::kDone);
+  MdsResult res;
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    if (in_final_[v]) res.dominating_set.push_back(v);
+  res.weight = net.weighted_graph().total_weight(res.dominating_set);
+  res.packing = partial_.packing();
+  res.packing_lower_bound = packing_lower_bound(res.packing);
+  res.iterations = partial_.iterations();
+  res.stats = net.stats();
+  return res;
+}
+
+}  // namespace arbods

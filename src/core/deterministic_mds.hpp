@@ -1,0 +1,59 @@
+// Theorem 1.1 (weighted) and Theorem 3.1 (unweighted):
+// (2alpha+1)(1+eps)-approximate MDS in O(log(Delta/alpha)/eps) CONGEST
+// rounds, deterministic.
+//
+// Structure: run Lemma 4.1 with lambda = 1/((2alpha+1)(1+eps)); then every
+// still-undominated node v brings one dominator into the set:
+//   * kMinWeightNeighbor (Thm 1.1): the node of weight tau_v in N+(v)
+//     (v knows it from the weight prologue; 2 completion rounds), or
+//   * kSelf (Thm 3.1, unweighted): v itself (1 completion round).
+#pragma once
+
+#include <optional>
+
+#include "core/mds_result.hpp"
+#include "core/partial_ds.hpp"
+
+namespace arbods {
+
+enum class CompletionMode {
+  kMinWeightNeighbor,  // Theorem 1.1
+  kSelf,               // Theorem 3.1 (intended for unweighted instances)
+};
+
+struct DeterministicMdsParams {
+  double eps = 0.5;
+  NodeId alpha = 1;
+  CompletionMode completion = CompletionMode::kMinWeightNeighbor;
+  /// Override lambda; by default 1/((2*alpha+1)(1+eps)) per Theorem 1.1.
+  std::optional<double> lambda;
+};
+
+class DeterministicMds final : public DistributedAlgorithm {
+ public:
+  explicit DeterministicMds(DeterministicMdsParams params);
+
+  void initialize(Network& net) override;
+  void process_round(Network& net) override;
+  bool finished(const Network& net) const override;
+
+  /// Assembles the result (valid once finished).
+  MdsResult result(const Network& net) const;
+
+  const PartialDominatingSet& partial() const { return partial_; }
+
+  static constexpr int kTagRequest = 4;
+
+ private:
+  enum class Stage { kPartial, kRequest, kCompletionJoin, kDone };
+
+  DeterministicMdsParams params_;
+  PartialDominatingSet partial_;
+  Stage stage_ = Stage::kPartial;
+  std::vector<bool> in_final_;  // S union S'
+};
+
+/// The lambda of Theorem 1.1.
+double theorem11_lambda(NodeId alpha, double eps);
+
+}  // namespace arbods

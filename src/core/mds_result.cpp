@@ -1,0 +1,30 @@
+#include "core/mds_result.hpp"
+
+#include "common/check.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods {
+
+double MdsResult::certified_ratio() const {
+  ARBODS_CHECK_MSG(packing_lower_bound > 0.0,
+                   "no packing certificate available");
+  return static_cast<double>(weight) / packing_lower_bound;
+}
+
+void MdsResult::validate(const WeightedGraph& wg, double tol) const {
+  ARBODS_CHECK_MSG(is_valid_node_set(wg.graph(), dominating_set),
+                   "result set contains duplicates or out-of-range ids");
+  const auto missing = undominated_nodes(wg.graph(), dominating_set);
+  ARBODS_CHECK_MSG(missing.empty(), missing.size() << " nodes undominated, "
+                                                      "first: "
+                                                   << missing.front());
+  ARBODS_CHECK_MSG(wg.total_weight(dominating_set) == weight,
+                   "recorded weight " << weight << " != actual "
+                                      << wg.total_weight(dominating_set));
+  if (!packing.empty()) {
+    ARBODS_CHECK_MSG(is_feasible_packing(wg, packing, tol),
+                     "packing certificate infeasible");
+  }
+}
+
+}  // namespace arbods

@@ -1,0 +1,48 @@
+// Result object returned by every dominating-set solver, carrying enough
+// certificates to re-verify the solution independently.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "congest/network.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods {
+
+struct MdsResult {
+  /// The dominating set, sorted ascending.
+  NodeSet dominating_set;
+
+  /// Total weight of the set.
+  Weight weight = 0;
+
+  /// Final packing values (Lemma 2.1 dual); empty if the algorithm does
+  /// not produce one (e.g. the tree algorithm).
+  std::vector<double> packing;
+
+  /// sum_v x_v — a certified lower bound on OPT when `packing` is feasible.
+  double packing_lower_bound = 0.0;
+
+  /// Paper-level iterations of the main loop (r in Lemma 4.1, phase count
+  /// in Lemma 4.6, ...). Simulator rounds are in `stats`.
+  std::int64_t iterations = 0;
+
+  /// True if a defensive fallback path ran (must stay false; tested).
+  bool used_fallback = false;
+
+  /// Simulator statistics for the full run (all composed phases).
+  RunStats stats;
+
+  /// weight / packing_lower_bound: an upper bound on the achieved
+  /// approximation ratio (>= the true ratio since the bound is <= OPT).
+  /// Requires a non-trivial packing.
+  double certified_ratio() const;
+
+  /// Throws CheckError unless the set is a valid dominating set of wg,
+  /// the recorded weight matches, and (when present) the packing is
+  /// feasible within `tol`.
+  void validate(const WeightedGraph& wg, double tol = 1e-6) const;
+};
+
+}  // namespace arbods

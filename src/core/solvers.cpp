@@ -1,0 +1,153 @@
+#include "core/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/deterministic_mds.hpp"
+#include "core/partial_ds.hpp"
+#include "core/randomized.hpp"
+#include "core/tree_mds.hpp"
+#include "core/unknown_params.hpp"
+
+namespace arbods {
+
+namespace {
+
+void accumulate(RunStats& into, const RunStats& from) {
+  into.rounds += from.rounds;
+  into.messages += from.messages;
+  into.total_bits += from.total_bits;
+  into.max_message_bits = std::max(into.max_message_bits, from.max_message_bits);
+  into.hit_round_limit = into.hit_round_limit || from.hit_round_limit;
+}
+
+std::int64_t round_budget(const WeightedGraph& wg) {
+  // Generous a-priori bound: every algorithm here is O(polylog) rounds,
+  // but the unknown-parameter variants scale with log n * log W / eps.
+  return 400000 + 40 * static_cast<std::int64_t>(wg.num_nodes());
+}
+
+}  // namespace
+
+MdsResult solve_mds_deterministic(const WeightedGraph& wg, NodeId alpha,
+                                  double eps, CongestConfig config) {
+  Network net(wg, config);
+  DeterministicMdsParams params;
+  params.eps = eps;
+  params.alpha = alpha;
+  params.completion = CompletionMode::kMinWeightNeighbor;
+  DeterministicMds algo(params);
+  RunStats stats = net.run(algo, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return algo.result(net);
+}
+
+MdsResult solve_mds_unweighted(const WeightedGraph& wg, NodeId alpha,
+                               double eps, CongestConfig config) {
+  Network net(wg, config);
+  DeterministicMdsParams params;
+  params.eps = eps;
+  params.alpha = alpha;
+  params.completion = CompletionMode::kSelf;
+  DeterministicMds algo(params);
+  RunStats stats = net.run(algo, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return algo.result(net);
+}
+
+Theorem12Params theorem12_params(NodeId alpha, std::int64_t t) {
+  ARBODS_CHECK(alpha >= 1 && t >= 1);
+  Theorem12Params p;
+  p.eps = 1.0 / (4.0 * static_cast<double>(t));
+  p.lambda = p.eps / (static_cast<double>(alpha) + 1.0);
+  p.gamma = std::max(2.0, std::pow(static_cast<double>(alpha),
+                                   1.0 / (2.0 * static_cast<double>(t))));
+  return p;
+}
+
+MdsResult solve_mds_randomized(const WeightedGraph& wg, NodeId alpha,
+                               std::int64_t t, CongestConfig config) {
+  const Theorem12Params sched = theorem12_params(alpha, t);
+
+  // Phase 1: Lemma 4.1.
+  Network net1(wg, config);
+  PartialDsParams pp;
+  pp.eps = sched.eps;
+  pp.lambda = sched.lambda;
+  pp.alpha = alpha;
+  PartialDominatingSet partial(pp);
+  RunStats stats1 = net1.run(partial, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats1.hit_round_limit, "round budget exceeded (phase 1)");
+
+  // Phase 2: Lemma 4.6 seeded with (S, x).
+  ExtensionSeed seed;
+  seed.in_set = partial.in_partial_set();
+  seed.dominated = partial.dominated();
+  seed.packing = partial.packing();
+
+  Network net2(wg, config);
+  RandomizedExtensionParams ep;
+  ep.lambda = sched.lambda;
+  ep.gamma = sched.gamma;
+  RandomizedExtension ext(ep, std::move(seed));
+  RunStats stats2 = net2.run(ext, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats2.hit_round_limit, "round budget exceeded (phase 2)");
+
+  MdsResult res = ext.result(net2);
+  accumulate(res.stats, stats1);
+  res.iterations = partial.iterations() + ext.phases();
+  return res;
+}
+
+MdsResult solve_mds_general(const WeightedGraph& wg, int k,
+                            CongestConfig config) {
+  ARBODS_CHECK(k >= 1);
+  const double delta = static_cast<double>(wg.graph().max_degree());
+  Network net(wg, config);
+  RandomizedExtensionParams ep;
+  ep.lambda = 1.0 / (delta + 1.0);
+  ep.gamma = std::max(1.5, std::pow(delta, 1.0 / static_cast<double>(k)));
+  RandomizedExtension ext(ep, std::nullopt);
+  RunStats stats = net.run(ext, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return ext.result(net);
+}
+
+MdsResult solve_mds_unknown_delta(const WeightedGraph& wg, NodeId alpha,
+                                  double eps, CongestConfig config) {
+  Network net(wg, config);
+  AdaptiveMdsParams params;
+  params.mode = AdaptiveMode::kUnknownDelta;
+  params.alpha = alpha;
+  params.eps = eps;
+  AdaptiveMds algo(params);
+  RunStats stats = net.run(algo, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return algo.result(net);
+}
+
+MdsResult solve_mds_unknown_alpha(const WeightedGraph& wg, double eps,
+                                  CongestConfig config, bool be_knows_alpha,
+                                  NodeId be_alpha_hint) {
+  Network net(wg, config);
+  AdaptiveMdsParams params;
+  params.mode = AdaptiveMode::kUnknownAlpha;
+  params.eps = eps;
+  params.be_knows_alpha = be_knows_alpha;
+  params.be_alpha_hint = be_alpha_hint;
+  AdaptiveMds algo(params);
+  RunStats stats = net.run(algo, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return algo.result(net);
+}
+
+MdsResult solve_mds_tree(const WeightedGraph& wg, CongestConfig config) {
+  Network net(wg, config);
+  TreeMds algo;
+  RunStats stats = net.run(algo, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return algo.result(net);
+}
+
+}  // namespace arbods

@@ -1,0 +1,62 @@
+// Public one-call drivers for every algorithm in the paper.
+//
+// Each driver builds a Network over the weighted graph, runs the CONGEST
+// algorithm(s), and returns an MdsResult with the set, the dual
+// certificate, and aggregated simulator statistics. Composed algorithms
+// (Theorem 1.2) accumulate the statistics of all their phases.
+//
+//   solve_mds_deterministic   Theorem 1.1   (2a+1)(1+eps), O(log(Delta/a)/eps)
+//   solve_mds_unweighted      Theorem 3.1   same bound, completion = self
+//   solve_mds_randomized      Theorem 1.2   a + O(a/t), O(t log Delta), rand.
+//   solve_mds_general         Theorem 1.3   O(k Delta^{2/k}), O(k^2), rand.
+//   solve_mds_unknown_delta   Remark 4.4
+//   solve_mds_unknown_alpha   Remark 4.5
+//   solve_mds_tree            Observation A.1 (forests, unweighted)
+#pragma once
+
+#include "core/mds_result.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods {
+
+/// Theorem 1.1. alpha >= 1 must upper-bound the arboricity; eps in (0,1).
+MdsResult solve_mds_deterministic(const WeightedGraph& wg, NodeId alpha,
+                                  double eps, CongestConfig config = {});
+
+/// Theorem 3.1 (intended for unit weights; the undominated nodes join
+/// themselves). Same guarantee as Theorem 1.1 on unweighted instances.
+MdsResult solve_mds_unweighted(const WeightedGraph& wg, NodeId alpha,
+                               double eps, CongestConfig config = {});
+
+/// Theorem 1.2. t in [1, alpha/log(alpha)] (clamped); randomized —
+/// expected approximation alpha + O(alpha/t).
+MdsResult solve_mds_randomized(const WeightedGraph& wg, NodeId alpha,
+                               std::int64_t t, CongestConfig config = {});
+
+/// Theorem 1.3 on general graphs (no arboricity promise). k >= 1.
+MdsResult solve_mds_general(const WeightedGraph& wg, int k,
+                            CongestConfig config = {});
+
+/// Remark 4.4 (Delta unknown; alpha known).
+MdsResult solve_mds_unknown_delta(const WeightedGraph& wg, NodeId alpha,
+                                  double eps, CongestConfig config = {});
+
+/// Remark 4.5 (alpha unknown; n known). be_knows_alpha selects the
+/// orientation prologue flavour (see AdaptiveMdsParams).
+MdsResult solve_mds_unknown_alpha(const WeightedGraph& wg, double eps,
+                                  CongestConfig config = {},
+                                  bool be_knows_alpha = false,
+                                  NodeId be_alpha_hint = 1);
+
+/// Observation A.1 (forests; unweighted semantics).
+MdsResult solve_mds_tree(const WeightedGraph& wg, CongestConfig config = {});
+
+/// The Theorem 1.2 parameter schedule (exposed for tests/benches):
+struct Theorem12Params {
+  double eps;
+  double lambda;
+  double gamma;
+};
+Theorem12Params theorem12_params(NodeId alpha, std::int64_t t);
+
+}  // namespace arbods

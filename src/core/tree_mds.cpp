@@ -1,0 +1,50 @@
+#include "core/tree_mds.hpp"
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+void TreeMds::initialize(Network& net) {
+  const NodeId n = net.num_nodes();
+  in_set_.assign(n, false);
+  stage_ = n == 0 ? Stage::kDone : Stage::kAwaitDegrees;
+  for (NodeId v = 0; v < n; ++v)
+    net.broadcast(v, Message::tagged(kTagDegree).add_level(net.degree(v)));
+}
+
+void TreeMds::process_round(Network& net) {
+  if (stage_ != Stage::kAwaitDegrees) return;
+  const NodeId n = net.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId deg = net.degree(v);
+    if (deg >= 2) {
+      in_set_[v] = true;  // internal node
+    } else if (deg == 0) {
+      in_set_[v] = true;  // isolated: nobody else can dominate it
+    } else {
+      // Single neighbor; join only if it is also a leaf and we tie-break.
+      const Message& m = net.inbox(v).front();
+      ARBODS_CHECK(m.tag() == kTagDegree);
+      if (m.level_at(1) == 1 && v < m.sender()) in_set_[v] = true;
+    }
+  }
+  stage_ = Stage::kDone;
+}
+
+bool TreeMds::finished(const Network& net) const {
+  (void)net;
+  return stage_ == Stage::kDone;
+}
+
+MdsResult TreeMds::result(const Network& net) const {
+  ARBODS_CHECK(stage_ == Stage::kDone);
+  MdsResult res;
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    if (in_set_[v]) res.dominating_set.push_back(v);
+  res.weight = net.weighted_graph().total_weight(res.dominating_set);
+  res.iterations = 1;
+  res.stats = net.stats();
+  return res;
+}
+
+}  // namespace arbods

@@ -1,0 +1,200 @@
+#include "core/unknown_params.hpp"
+
+#include <algorithm>
+
+#include "arboricity/orientation.hpp"
+#include "common/check.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods {
+
+AdaptiveMds::AdaptiveMds(AdaptiveMdsParams params) : params_(params) {
+  ARBODS_CHECK(params_.eps > 0.0 && params_.eps < 1.0);
+  if (params_.mode == AdaptiveMode::kUnknownDelta)
+    ARBODS_CHECK(params_.alpha >= 1);
+}
+
+void AdaptiveMds::initialize(Network& net) {
+  const NodeId n = net.num_nodes();
+  x_.assign(n, 0.0);
+  lambda_.assign(n, 0.0);
+  tau_.assign(n, 0);
+  tau_witness_.assign(n, kInvalidNode);
+  out_degree_.assign(n, 0);
+  in_final_.assign(n, false);
+  dominated_.assign(n, false);
+  pending_join_announce_.assign(n, false);
+  num_undominated_ = n;
+  iterations_ = 0;
+  orientation_rounds_ = 0;
+  first_value_round_ = true;
+
+  if (n == 0) {
+    stage_ = Stage::kDone;
+    return;
+  }
+  if (params_.mode == AdaptiveMode::kUnknownAlpha) {
+    if (params_.be_knows_alpha) {
+      be_ = std::make_unique<BarenboimElkinOrientation>(
+          std::max<NodeId>(1, params_.be_alpha_hint), params_.eps);
+    } else {
+      be_ = std::make_unique<BarenboimElkinOrientation>(
+          BarenboimElkinOrientation::with_unknown_alpha(params_.eps));
+    }
+    be_->initialize(net);
+    stage_ = Stage::kOrient;
+  } else {
+    // Remark 4.4: straight to the info exchange.
+    for (NodeId v = 0; v < n; ++v) {
+      net.broadcast(v, Message::tagged(kTagInfo)
+                           .add_weight(net.weight(v))
+                           .add_level(net.degree(v)));
+    }
+    stage_ = Stage::kInfoExchange;
+  }
+}
+
+void AdaptiveMds::process_round(Network& net) {
+  const NodeId n = net.num_nodes();
+  const double one_plus_eps = 1.0 + params_.eps;
+
+  switch (stage_) {
+    case Stage::kOrient: {
+      be_->process_round(net);
+      ++orientation_rounds_;
+      if (!be_->finished(net)) break;
+      // Orientation done; publish weight + out-degree next.
+      Orientation o = be_->extract_orientation(net.graph());
+      for (NodeId v = 0; v < n; ++v) {
+        out_degree_[v] = o.out_degree(v);
+        net.broadcast(v, Message::tagged(kTagInfo)
+                             .add_weight(net.weight(v))
+                             .add_level(out_degree_[v]));
+      }
+      stage_ = Stage::kInfoExchange;
+      break;
+    }
+
+    case Stage::kInfoExchange: {
+      for (NodeId v = 0; v < n; ++v) {
+        Weight best = net.weight(v);
+        NodeId witness = v;
+        // For kUnknownDelta: max closed-neighborhood size, incl. own.
+        std::int64_t max_info = params_.mode == AdaptiveMode::kUnknownDelta
+                                    ? net.degree(v) + 1
+                                    : out_degree_[v];
+        for (const Message& m : net.inbox(v)) {
+          if (m.tag() != kTagInfo) continue;
+          const Weight w = m.weight_at(1);
+          if (w < best || (w == best && m.sender() < witness)) {
+            best = w;
+            witness = m.sender();
+          }
+          std::int64_t info = m.level_at(2);
+          if (params_.mode == AdaptiveMode::kUnknownDelta) info += 1;
+          max_info = std::max(max_info, info);
+        }
+        tau_[v] = best;
+        tau_witness_[v] = witness;
+        if (params_.mode == AdaptiveMode::kUnknownDelta) {
+          x_[v] = static_cast<double>(best) / static_cast<double>(max_info);
+          lambda_[v] = 1.0 / ((2.0 * params_.alpha + 1.0) * one_plus_eps);
+        } else {
+          x_[v] = static_cast<double>(best) / (static_cast<double>(n) + 1.0);
+          // hat_alpha_v = max out-degree over N+(v).
+          lambda_[v] = 1.0 / ((2.0 * static_cast<double>(max_info) + 1.0) *
+                              one_plus_eps);
+        }
+      }
+      first_value_round_ = true;
+      stage_ = Stage::kValueRound;
+      break;
+    }
+
+    case Stage::kValueRound: {
+      ++iterations_;
+      for (NodeId v = 0; v < n; ++v) {
+        // (1) absorb join announcements from the previous join round.
+        if (!dominated_[v]) {
+          for (const Message& m : net.inbox(v)) {
+            if (m.tag() == kTagJoin) {
+              dominated_[v] = true;
+              --num_undominated_;
+              break;
+            }
+          }
+        }
+        // (2) step 3 of the previous iteration: bump if still undominated.
+        if (!first_value_round_ && !dominated_[v]) x_[v] *= one_plus_eps;
+        // (3) the Remarks' extra step: self-completion once past lambda_v.
+        if (!dominated_[v] &&
+            x_[v] > lambda_[v] * static_cast<double>(tau_[v])) {
+          dominated_[v] = true;  // the witness join is guaranteed
+          --num_undominated_;
+          if (tau_witness_[v] == v) {
+            in_final_[v] = true;
+            pending_join_announce_[v] = true;  // announced next join round
+          } else {
+            net.send(v, tau_witness_[v], Message::tagged(kTagRequest));
+          }
+        }
+      }
+      first_value_round_ = false;
+      for (NodeId v = 0; v < n; ++v)
+        net.broadcast(v, Message::tagged(kTagValue).add_real(x_[v]));
+      stage_ = Stage::kJoinRound;
+      break;
+    }
+
+    case Stage::kJoinRound: {
+      for (NodeId u = 0; u < n; ++u) {
+        bool join = false;
+        double sum = x_[u];
+        for (const Message& m : net.inbox(u)) {
+          if (m.tag() == kTagValue) sum += m.real_at(1);
+          if (m.tag() == kTagRequest) join = true;  // carries tau for someone
+        }
+        const bool fresh_join =
+            !in_final_[u] &&
+            (join ||
+             sum >= static_cast<double>(net.weight(u)) / one_plus_eps);
+        if (fresh_join) {
+          in_final_[u] = true;
+          if (!dominated_[u]) {
+            dominated_[u] = true;
+            --num_undominated_;
+          }
+        }
+        if (fresh_join || pending_join_announce_[u]) {
+          pending_join_announce_[u] = false;
+          net.broadcast(u, Message::tagged(kTagJoin));
+        }
+      }
+      stage_ = num_undominated_ == 0 ? Stage::kDone : Stage::kValueRound;
+      break;
+    }
+
+    case Stage::kDone:
+      break;
+  }
+}
+
+bool AdaptiveMds::finished(const Network& net) const {
+  (void)net;
+  return stage_ == Stage::kDone;
+}
+
+MdsResult AdaptiveMds::result(const Network& net) const {
+  ARBODS_CHECK(stage_ == Stage::kDone);
+  MdsResult res;
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    if (in_final_[v]) res.dominating_set.push_back(v);
+  res.weight = net.weighted_graph().total_weight(res.dominating_set);
+  res.packing = x_;
+  res.packing_lower_bound = packing_lower_bound(res.packing);
+  res.iterations = iterations_;
+  res.stats = net.stats();
+  return res;
+}
+
+}  // namespace arbods

@@ -1,0 +1,126 @@
+#include "gen/arboricity_families.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "gen/trees.hpp"
+#include "graph/builder.hpp"
+
+namespace arbods::gen {
+
+Graph k_tree_union(NodeId n, NodeId k, Rng& rng) {
+  ARBODS_CHECK(n >= 2 && k >= 1);
+  GraphBuilder b(n);
+  for (NodeId layer = 0; layer < k; ++layer) {
+    Graph t = random_tree_prufer(n, rng);
+    for (const Edge& e : t.edges()) b.add_edge(e.u, e.v);
+  }
+  return std::move(b).build();
+}
+
+Graph k_pseudoforest_union(NodeId n, NodeId k, Rng& rng) {
+  ARBODS_CHECK(n >= 3 && k >= 1);
+  GraphBuilder b(n);
+  std::vector<NodeId> perm(n);
+  for (NodeId layer = 0; layer < k; ++layer) {
+    std::iota(perm.begin(), perm.end(), NodeId{0});
+    rng.shuffle(perm);
+    for (NodeId i = 0; i < n; ++i) {
+      NodeId u = perm[i];
+      NodeId v = perm[(i + 1) % n];
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph planar_stacked_triangulation(NodeId n, Rng& rng) {
+  ARBODS_CHECK(n >= 3);
+  GraphBuilder b(n);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  struct Tri {
+    NodeId a, b, c;
+  };
+  std::vector<Tri> faces{{0, 1, 2}};
+  for (NodeId v = 3; v < n; ++v) {
+    std::size_t f = static_cast<std::size_t>(rng.next_below(faces.size()));
+    Tri t = faces[f];
+    b.add_edge(v, t.a);
+    b.add_edge(v, t.b);
+    b.add_edge(v, t.c);
+    // Replace the chosen face by the three new ones.
+    faces[f] = {t.a, t.b, v};
+    faces.push_back({t.a, t.c, v});
+    faces.push_back({t.b, t.c, v});
+  }
+  return std::move(b).build();
+}
+
+Graph random_maximal_outerplanar(NodeId n, Rng& rng) {
+  ARBODS_CHECK(n >= 3);
+  GraphBuilder b(n);
+  // Polygon boundary.
+  for (NodeId i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  // Random triangulation of the polygon by recursive ear splitting.
+  struct Range {
+    NodeId lo, hi;  // chord (lo, hi) with the open interval to triangulate
+  };
+  std::vector<Range> stack{{0, n - 1}};
+  while (!stack.empty()) {
+    auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi - lo < 2) continue;
+    // Pick the apex strictly inside (lo, hi); add the two chords unless
+    // they coincide with boundary edges.
+    NodeId apex = lo + 1 + static_cast<NodeId>(rng.next_below(hi - lo - 1));
+    if (apex != lo + 1) b.add_edge(lo, apex);
+    if (apex + 1 != hi) b.add_edge(apex, hi);
+    stack.push_back({lo, apex});
+    stack.push_back({apex, hi});
+  }
+  return std::move(b).build();
+}
+
+Graph clique_tree(NodeId cliques, NodeId clique_size, Rng& rng) {
+  ARBODS_CHECK(cliques >= 1 && clique_size >= 2);
+  // Clique i occupies [i*(s-1), i*(s-1)+s) so consecutive cliques in the
+  // random attachment tree share one node.
+  const NodeId s = clique_size;
+  const NodeId n = cliques * (s - 1) + 1;
+  GraphBuilder b(n);
+  std::vector<NodeId> anchor(cliques);  // shared node of clique i with parent
+  anchor[0] = 0;
+  for (NodeId c = 0; c < cliques; ++c) {
+    if (c > 0) {
+      NodeId parent = static_cast<NodeId>(rng.next_below(c));
+      // Anchor on a random node of the parent clique.
+      NodeId base = parent * (s - 1);
+      anchor[c] = base + static_cast<NodeId>(rng.next_below(s));
+    }
+    // Members: anchor + the c-th fresh block.
+    std::vector<NodeId> members{anchor[c]};
+    NodeId base = c * (s - 1) + 1;
+    for (NodeId i = 0; i + 1 < s; ++i) members.push_back(base + i);
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (std::size_t j = i + 1; j < members.size(); ++j)
+        b.add_edge(members[i], members[j]);
+  }
+  return std::move(b).build();
+}
+
+Graph planted_dominating_set(NodeId n, NodeId centers, NodeId max_links,
+                             Rng& rng) {
+  ARBODS_CHECK(centers >= 1 && n >= centers && max_links >= 1);
+  GraphBuilder b(n);
+  for (NodeId c = 0; c + 1 < centers; ++c) b.add_edge(c, c + 1);
+  for (NodeId v = centers; v < n; ++v) {
+    NodeId links = 1 + static_cast<NodeId>(rng.next_below(max_links));
+    auto hubs = rng.sample_without_replacement(centers, std::min(links, centers));
+    for (auto h : hubs) b.add_edge(v, static_cast<NodeId>(h));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace arbods::gen

@@ -1,0 +1,47 @@
+// Families with controlled arboricity — the paper's target graph class.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::gen {
+
+/// Union of k independent uniform random spanning trees on the same node
+/// set. Arboricity <= k by construction; for n >> k the Nash-Williams
+/// density bound makes it exactly k with high probability (duplicate edges
+/// across trees are collapsed). This is the canonical "arboricity = alpha"
+/// workload of the experiments.
+Graph k_tree_union(NodeId n, NodeId k, Rng& rng);
+
+/// Union of k random "augmented cycles" (each a Hamiltonian cycle on a
+/// random permutation): every component of each layer has exactly one
+/// cycle, so the graph decomposes into k pseudoforests (see footnote 2 of
+/// the paper). Out-degree-k orientable but arboricity may be k+... up to
+/// k+1; use for the pseudoforest extension tests.
+Graph k_pseudoforest_union(NodeId n, NodeId k, Rng& rng);
+
+/// Planar 3-tree ("stacked triangulation" / Apollonian-like): repeatedly
+/// inserts a node into a uniformly random existing triangular face,
+/// connecting it to the face's corners. Planar, 3-degenerate,
+/// arboricity <= 3. n >= 3.
+Graph planar_stacked_triangulation(NodeId n, Rng& rng);
+
+/// Random maximal outerplanar graph (fan triangulation of a random
+/// polygon): arboricity <= 2. n >= 3.
+Graph random_maximal_outerplanar(NodeId n, Rng& rng);
+
+/// A tree of `cliques` cliques, each of size `clique_size`, adjacent
+/// cliques sharing a single cut node. Arboricity = ceil(clique_size/2);
+/// models social-network-like communities.
+Graph clique_tree(NodeId cliques, NodeId clique_size, Rng& rng);
+
+/// Graph with a planted small dominating set: `centers` hub nodes, every
+/// other node attached to 1..max_links random hubs (and hubs connected in
+/// a path so the graph is connected). OPT <= centers; arboricity <=
+/// max_links + 1. Useful for measuring approximation quality against a
+/// known-good solution.
+Graph planted_dominating_set(NodeId n, NodeId centers, NodeId max_links,
+                             Rng& rng);
+
+}  // namespace arbods::gen

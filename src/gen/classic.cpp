@@ -1,0 +1,129 @@
+#include "gen/classic.hpp"
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace arbods::gen {
+
+Graph path(NodeId n) {
+  ARBODS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return std::move(b).build();
+}
+
+Graph cycle(NodeId n) {
+  ARBODS_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return std::move(b).build();
+}
+
+Graph star(NodeId n) {
+  ARBODS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(0, i);
+  return std::move(b).build();
+}
+
+Graph clique(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId b_count) {
+  GraphBuilder b(a + b_count);
+  for (NodeId i = 0; i < a; ++i)
+    for (NodeId j = 0; j < b_count; ++j) b.add_edge(i, a + j);
+  return std::move(b).build();
+}
+
+namespace {
+NodeId grid_id(NodeId r, NodeId c, NodeId cols) { return r * cols + c; }
+}  // namespace
+
+Graph grid(NodeId rows, NodeId cols) {
+  ARBODS_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      if (r + 1 < rows) b.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph king_grid(NodeId rows, NodeId cols) {
+  ARBODS_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      if (r + 1 < rows) b.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+      if (r + 1 < rows && c + 1 < cols) {
+        b.add_edge(grid_id(r, c, cols), grid_id(r + 1, c + 1, cols));
+        b.add_edge(grid_id(r, c + 1, cols), grid_id(r + 1, c, cols));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph torus(NodeId rows, NodeId cols) {
+  ARBODS_CHECK(rows >= 3 && cols >= 3);
+  GraphBuilder b(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      b.add_edge(grid_id(r, c, cols), grid_id(r, (c + 1) % cols, cols));
+      b.add_edge(grid_id(r, c, cols), grid_id((r + 1) % rows, c, cols));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph binary_tree(NodeId n) {
+  ARBODS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.add_edge(i, (i - 1) / 2);
+  return std::move(b).build();
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  ARBODS_CHECK(spine >= 1);
+  GraphBuilder b(spine * (legs + 1));
+  for (NodeId i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
+  NodeId next = spine;
+  for (NodeId i = 0; i < spine; ++i)
+    for (NodeId l = 0; l < legs; ++l) b.add_edge(i, next++);
+  return std::move(b).build();
+}
+
+Graph book(NodeId pages) {
+  ARBODS_CHECK(pages >= 1);
+  GraphBuilder b(2 + pages);
+  b.add_edge(0, 1);
+  for (NodeId p = 0; p < pages; ++p) {
+    b.add_edge(0, 2 + p);
+    b.add_edge(1, 2 + p);
+  }
+  return std::move(b).build();
+}
+
+Graph spider(NodeId legs, NodeId leg_len) {
+  ARBODS_CHECK(legs >= 1 && leg_len >= 1);
+  GraphBuilder b(1 + legs * leg_len);
+  NodeId next = 1;
+  for (NodeId l = 0; l < legs; ++l) {
+    NodeId prev = 0;
+    for (NodeId i = 0; i < leg_len; ++i) {
+      b.add_edge(prev, next);
+      prev = next++;
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace arbods::gen

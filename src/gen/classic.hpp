@@ -1,0 +1,48 @@
+// Deterministic classic graph families.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::gen {
+
+/// Path P_n (n >= 1). Arboricity 1.
+Graph path(NodeId n);
+
+/// Cycle C_n (n >= 3). Arboricity 2 (as a pseudoforest it is 1).
+Graph cycle(NodeId n);
+
+/// Star K_{1,n-1} with center 0. Arboricity 1, Delta = n-1.
+Graph star(NodeId n);
+
+/// Complete graph K_n. Arboricity ceil(n/2).
+Graph clique(NodeId n);
+
+/// Complete bipartite K_{a,b}; side A is [0,a), side B is [a,a+b).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// rows x cols grid. Arboricity 2.
+Graph grid(NodeId rows, NodeId cols);
+
+/// rows x cols grid with both diagonals per cell ("king graph").
+/// Arboricity <= 4.
+Graph king_grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (wrap-around grid); rows, cols >= 3. Arboricity <= 2.
+Graph torus(NodeId rows, NodeId cols);
+
+/// Complete binary tree with n nodes (heap indexing). Arboricity 1.
+Graph binary_tree(NodeId n);
+
+/// Caterpillar: spine path of length `spine`, each spine node gets `legs`
+/// pendant leaves. Arboricity 1.
+Graph caterpillar(NodeId spine, NodeId legs);
+
+/// "Book" graph: `pages` triangles sharing one edge {0,1}. Arboricity 2,
+/// useful as a small non-forest instance.
+Graph book(NodeId pages);
+
+/// Spider: `legs` paths of length `leg_len` joined at a center node.
+Graph spider(NodeId legs, NodeId leg_len);
+
+}  // namespace arbods::gen

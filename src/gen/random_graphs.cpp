@@ -1,0 +1,133 @@
+#include "gen/random_graphs.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace arbods::gen {
+
+Graph erdos_renyi_gnp(NodeId n, double p, Rng& rng) {
+  ARBODS_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p <= 0.0 || n < 2) return std::move(b).build();
+  if (p >= 1.0) {
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = i + 1; j < n; ++j) b.add_edge(i, j);
+    return std::move(b).build();
+  }
+  // Batagelj–Brandes geometric skipping over pairs (w, v) with w < v.
+  const double log1mp = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  while (v < static_cast<std::int64_t>(n)) {
+    double u = rng.next_double();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-u) / log1mp));
+    while (w >= v && v < static_cast<std::int64_t>(n)) {
+      w -= v;
+      ++v;
+    }
+    if (v < static_cast<std::int64_t>(n))
+      b.add_edge(static_cast<NodeId>(w), static_cast<NodeId>(v));
+  }
+  return std::move(b).build();
+}
+
+Graph erdos_renyi_gnm(NodeId n, std::size_t m, Rng& rng) {
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  ARBODS_CHECK_MSG(m <= total, "m=" << m << " exceeds max " << total);
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.next_below(n));
+    NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (chosen.insert(key).second) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph barabasi_albert(NodeId n, NodeId edges_per_node, Rng& rng) {
+  ARBODS_CHECK(edges_per_node >= 1);
+  ARBODS_CHECK(n >= edges_per_node + 1);
+  const NodeId m0 = edges_per_node + 1;
+  GraphBuilder b(n);
+  // `targets` holds one entry per edge endpoint => sampling from it is
+  // degree-proportional.
+  std::vector<NodeId> targets;
+  targets.reserve(2 * static_cast<std::size_t>(n) * edges_per_node);
+  for (NodeId i = 0; i < m0; ++i) {
+    for (NodeId j = i + 1; j < m0; ++j) {
+      b.add_edge(i, j);
+      targets.push_back(i);
+      targets.push_back(j);
+    }
+  }
+  std::unordered_set<NodeId> picked;
+  for (NodeId v = m0; v < n; ++v) {
+    picked.clear();
+    while (picked.size() < edges_per_node) {
+      NodeId t = targets[rng.next_below(targets.size())];
+      picked.insert(t);
+    }
+    for (NodeId t : picked) {
+      b.add_edge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph random_geometric(NodeId n, double radius, Rng& rng) {
+  ARBODS_CHECK(radius > 0.0);
+  std::vector<double> xs(n), ys(n);
+  for (NodeId i = 0; i < n; ++i) {
+    xs[i] = rng.next_double();
+    ys[i] = rng.next_double();
+  }
+  // Bucket grid with cell size = radius.
+  const int cells = std::max(1, static_cast<int>(std::floor(1.0 / radius)));
+  auto cell_of = [&](double coord) {
+    int c = static_cast<int>(coord * cells);
+    return std::min(c, cells - 1);
+  };
+  std::vector<std::vector<NodeId>> bucket(
+      static_cast<std::size_t>(cells) * cells);
+  for (NodeId i = 0; i < n; ++i)
+    bucket[static_cast<std::size_t>(cell_of(xs[i])) * cells + cell_of(ys[i])]
+        .push_back(i);
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  for (NodeId i = 0; i < n; ++i) {
+    int cx = cell_of(xs[i]);
+    int cy = cell_of(ys[i]);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (NodeId j : bucket[static_cast<std::size_t>(nx) * cells + ny]) {
+          if (j <= i) continue;
+          double ddx = xs[i] - xs[j], ddy = ys[i] - ys[j];
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(i, j);
+        }
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph random_bipartite(NodeId a, NodeId b_count, double p, Rng& rng) {
+  ARBODS_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(a + b_count);
+  for (NodeId i = 0; i < a; ++i)
+    for (NodeId j = 0; j < b_count; ++j)
+      if (rng.next_bernoulli(p)) b.add_edge(i, a + j);
+  return std::move(b).build();
+}
+
+}  // namespace arbods::gen

@@ -1,0 +1,30 @@
+// Random graph models.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::gen {
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping, O(n + m) expected.
+Graph erdos_renyi_gnp(NodeId n, double p, Rng& rng);
+
+/// G(n, m): exactly m distinct edges sampled uniformly (m <= n(n-1)/2).
+Graph erdos_renyi_gnm(NodeId n, std::size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `edges_per_node + 1` nodes; every later node attaches to
+/// `edges_per_node` distinct existing nodes, preferentially by degree.
+/// Degeneracy (and hence arboricity) <= edges_per_node.
+Graph barabasi_albert(NodeId n, NodeId edges_per_node, Rng& rng);
+
+/// Random geometric graph on the unit square with connection radius r,
+/// bucketed for near-linear construction. Models sensor networks.
+Graph random_geometric(NodeId n, double radius, Rng& rng);
+
+/// Random bipartite graph: sides of size a and b, each cross pair
+/// independently an edge with probability p.
+Graph random_bipartite(NodeId a, NodeId b, double p, Rng& rng);
+
+}  // namespace arbods::gen

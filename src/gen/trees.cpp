@@ -1,0 +1,94 @@
+#include "gen/trees.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+#include "graph/transform.hpp"
+
+namespace arbods::gen {
+
+Graph random_tree_prufer(NodeId n, Rng& rng) {
+  ARBODS_CHECK(n >= 1);
+  if (n == 1) return Graph(1);
+  if (n == 2) return Graph::from_edges(2, {{0, 1}});
+  // Prüfer decoding in O(n log n) using residual degree counts.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<NodeId>(rng.next_below(n));
+  std::vector<NodeId> degree(n, 1);
+  for (NodeId p : prufer) ++degree[p];
+  GraphBuilder b(n);
+  // Min-heap of current leaves.
+  std::vector<NodeId> heap;
+  for (NodeId v = 0; v < n; ++v)
+    if (degree[v] == 1) heap.push_back(v);
+  std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+  for (NodeId p : prufer) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    NodeId leaf = heap.back();
+    heap.pop_back();
+    b.add_edge(leaf, p);
+    if (--degree[p] == 1) {
+      heap.push_back(p);
+      std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+    }
+  }
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  NodeId u = heap.back();
+  heap.pop_back();
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  NodeId v = heap.back();
+  b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph random_recursive_tree(NodeId n, Rng& rng) {
+  ARBODS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i)
+    b.add_edge(i, static_cast<NodeId>(rng.next_below(i)));
+  return std::move(b).build();
+}
+
+Graph random_bounded_degree_tree(NodeId n, NodeId max_degree, Rng& rng) {
+  ARBODS_CHECK(n >= 1);
+  ARBODS_CHECK(max_degree >= 2);
+  GraphBuilder b(n);
+  // `open` holds nodes with residual capacity; attach each new node to a
+  // uniformly random open node.
+  std::vector<NodeId> open{0};
+  std::vector<NodeId> deg(n, 0);
+  for (NodeId i = 1; i < n; ++i) {
+    ARBODS_CHECK(!open.empty());
+    std::size_t idx = static_cast<std::size_t>(rng.next_below(open.size()));
+    NodeId parent = open[idx];
+    b.add_edge(i, parent);
+    ++deg[parent];
+    ++deg[i];
+    if (deg[parent] >= max_degree) {
+      open[idx] = open.back();
+      open.pop_back();
+    }
+    if (deg[i] < max_degree) open.push_back(i);
+  }
+  return std::move(b).build();
+}
+
+Graph random_forest(NodeId n, NodeId k, Rng& rng) {
+  ARBODS_CHECK(k >= 1 && n >= k);
+  // Split n into k parts, each >= 1, via random cut points.
+  auto cuts = rng.sample_without_replacement(n - 1, k - 1);
+  std::vector<NodeId> sizes;
+  NodeId prev = 0;
+  for (auto c : cuts) {
+    sizes.push_back(static_cast<NodeId>(c + 1) - prev);
+    prev = static_cast<NodeId>(c + 1);
+  }
+  sizes.push_back(n - prev);
+  Graph out(0);
+  for (NodeId s : sizes) out = disjoint_union(out, random_tree_prufer(s, rng));
+  return out;
+}
+
+}  // namespace arbods::gen

@@ -1,0 +1,25 @@
+// Random trees and forests (arboricity exactly 1).
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::gen {
+
+/// Uniform random labeled tree via a random Prüfer sequence (n >= 1).
+Graph random_tree_prufer(NodeId n, Rng& rng);
+
+/// Random recursive tree: node i attaches to a uniform node in [0, i).
+/// Depth O(log n) in expectation; degrees more skewed than Prüfer trees.
+Graph random_recursive_tree(NodeId n, Rng& rng);
+
+/// Random tree with maximum degree <= max_degree (attachment rejects
+/// saturated parents). max_degree >= 2.
+Graph random_bounded_degree_tree(NodeId n, NodeId max_degree, Rng& rng);
+
+/// Forest of `k` random Prüfer trees with sizes split uniformly at random
+/// (each part >= 1, n >= k).
+Graph random_forest(NodeId n, NodeId k, Rng& rng);
+
+}  // namespace arbods::gen

@@ -1,0 +1,66 @@
+#include "gen/weights.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace arbods::gen {
+
+std::vector<Weight> unit_weights(NodeId n) {
+  return std::vector<Weight>(n, 1);
+}
+
+std::vector<Weight> uniform_weights(NodeId n, Weight max_weight, Rng& rng) {
+  ARBODS_CHECK(max_weight >= 1);
+  std::vector<Weight> w(n);
+  for (auto& x : w) x = rng.next_int(1, max_weight);
+  return w;
+}
+
+std::vector<Weight> power_law_weights(NodeId n, double shape, Weight cap,
+                                      Rng& rng) {
+  ARBODS_CHECK(shape > 0 && cap >= 1);
+  std::vector<Weight> w(n);
+  for (auto& x : w) {
+    double u = rng.next_double();
+    if (u <= 0) u = 1e-12;
+    double raw = std::pow(1.0 / u, 1.0 / shape);
+    x = std::min<Weight>(cap, std::max<Weight>(1, static_cast<Weight>(raw)));
+  }
+  return w;
+}
+
+std::vector<Weight> degree_proportional_weights(const Graph& g) {
+  std::vector<Weight> w(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) w[v] = 1 + g.degree(v);
+  return w;
+}
+
+std::vector<Weight> inverse_degree_weights(const Graph& g) {
+  const Weight dmax = g.max_degree();
+  std::vector<Weight> w(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) w[v] = 1 + dmax - g.degree(v);
+  return w;
+}
+
+WeightedGraph with_weights(Graph g, const std::string& scheme, Rng& rng,
+                           Weight max_weight) {
+  std::vector<Weight> w;
+  if (scheme == "unit") {
+    w = unit_weights(g.num_nodes());
+  } else if (scheme == "uniform") {
+    w = uniform_weights(g.num_nodes(), max_weight, rng);
+  } else if (scheme == "powerlaw") {
+    w = power_law_weights(g.num_nodes(), 1.2, max_weight, rng);
+  } else if (scheme == "degree") {
+    w = degree_proportional_weights(g);
+  } else if (scheme == "invdegree") {
+    w = inverse_degree_weights(g);
+  } else {
+    ARBODS_CHECK_MSG(false, "unknown weight scheme '" << scheme << "'");
+  }
+  return WeightedGraph(std::move(g), std::move(w));
+}
+
+}  // namespace arbods::gen

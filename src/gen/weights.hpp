@@ -1,0 +1,40 @@
+// Node-weight assigners for the weighted MDS experiments.
+//
+// The paper assumes integer weights in [1, n^c]; every scheme here
+// respects that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::gen {
+
+/// All weights 1.
+std::vector<Weight> unit_weights(NodeId n);
+
+/// Uniform integers in [1, max_weight].
+std::vector<Weight> uniform_weights(NodeId n, Weight max_weight, Rng& rng);
+
+/// Discretized Pareto-ish heavy tail in [1, cap]: w = min(cap,
+/// floor(1/u^{1/shape})). Small shape => heavier tail.
+std::vector<Weight> power_law_weights(NodeId n, double shape, Weight cap,
+                                      Rng& rng);
+
+/// w_v = 1 + degree(v): high-degree nodes are expensive, the adversarial
+/// case for degree-greedy baselines.
+std::vector<Weight> degree_proportional_weights(const Graph& g);
+
+/// w_v = 1 + max_degree - degree(v): high-degree nodes are cheap.
+std::vector<Weight> inverse_degree_weights(const Graph& g);
+
+/// Convenience: attach weights by scheme name
+/// ("unit" | "uniform" | "powerlaw" | "degree" | "invdegree").
+WeightedGraph with_weights(Graph g, const std::string& scheme, Rng& rng,
+                           Weight max_weight = 100);
+
+}  // namespace arbods::gen

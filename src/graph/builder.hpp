@@ -1,0 +1,36 @@
+// Mutable edge accumulator producing an immutable Graph.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId n);
+
+  NodeId num_nodes() const { return n_; }
+
+  /// Adds an undirected edge. Self-loops are rejected (CheckError);
+  /// duplicates are tolerated and collapsed at build().
+  void add_edge(NodeId u, NodeId v);
+
+  /// Adds a fresh isolated node; returns its id.
+  NodeId add_node();
+
+  void reserve_edges(std::size_t m) { edges_.reserve(m); }
+
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Finalizes into CSR form. Consumes the builder.
+  Graph build() &&;
+
+ private:
+  NodeId n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace arbods

@@ -1,0 +1,83 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace arbods {
+
+namespace {
+// Reads the next non-comment token.
+std::string next_token(std::istream& is) {
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    return tok;
+  }
+  return {};
+}
+
+std::uint64_t next_u64(std::istream& is, const char* what) {
+  std::string tok = next_token(is);
+  ARBODS_CHECK_MSG(!tok.empty(), "unexpected EOF reading " << what);
+  return std::stoull(tok);
+}
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << g.num_nodes() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) os << e.u << " " << e.v << "\n";
+}
+
+Graph read_graph(std::istream& is) {
+  NodeId n = static_cast<NodeId>(next_u64(is, "node count"));
+  std::size_t m = next_u64(is, "edge count");
+  GraphBuilder b(n);
+  b.reserve_edges(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u = static_cast<NodeId>(next_u64(is, "edge endpoint"));
+    NodeId v = static_cast<NodeId>(next_u64(is, "edge endpoint"));
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+void write_weighted_graph(std::ostream& os, const WeightedGraph& wg) {
+  write_graph(os, wg.graph());
+  os << "weights\n";
+  for (NodeId v = 0; v < wg.num_nodes(); ++v) os << wg.weight(v) << "\n";
+}
+
+WeightedGraph read_weighted_graph(std::istream& is) {
+  Graph g = read_graph(is);
+  std::string marker = next_token(is);
+  ARBODS_CHECK_MSG(marker == "weights", "expected 'weights' marker, got '"
+                                            << marker << "'");
+  std::vector<Weight> w(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    w[v] = static_cast<Weight>(next_u64(is, "weight"));
+  return WeightedGraph(std::move(g), std::move(w));
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  ARBODS_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_graph(os, g);
+  ARBODS_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  ARBODS_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_graph(is);
+}
+
+}  // namespace arbods

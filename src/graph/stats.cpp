@@ -1,0 +1,132 @@
+#include "graph/stats.hpp"
+
+#include <deque>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace arbods {
+
+std::vector<NodeId> connected_components(const Graph& g, NodeId* count) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> comp(n, kInvalidNode);
+  NodeId next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidNode) continue;
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.neighbors(u)) {
+        if (comp[v] == kInvalidNode) {
+          comp[v] = next;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (count != nullptr) *count = next;
+  return comp;
+}
+
+bool is_forest(const Graph& g) {
+  NodeId num_comp = 0;
+  connected_components(g, &num_comp);
+  // A graph is a forest iff m = n - #components.
+  return g.num_edges() == g.num_nodes() - num_comp;
+}
+
+bool is_tree(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  NodeId num_comp = 0;
+  connected_components(g, &num_comp);
+  return num_comp == 1 && g.num_edges() == g.num_nodes() - 1;
+}
+
+std::vector<NodeId> bfs_distances(const Graph& g, NodeId src) {
+  const NodeId n = g.num_nodes();
+  ARBODS_CHECK(src < n);
+  std::vector<NodeId> dist(n, n);
+  dist[src] = 0;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == n) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+namespace {
+
+// Linear-time peeling: repeatedly remove a minimum-degree node; the largest
+// degree seen at removal time is the degeneracy (Matula & Beck 1983).
+NodeId compute_degeneracy(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0;
+  std::vector<NodeId> deg(n);
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue over degrees.
+  std::vector<std::vector<NodeId>> bucket(max_deg + 1);
+  for (NodeId v = 0; v < n; ++v) bucket[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  NodeId degeneracy = 0;
+  NodeId cursor = 0;
+  for (NodeId removed_count = 0; removed_count < n; ++removed_count) {
+    // Find the lowest non-empty bucket; cursor can step back by at most one
+    // per removal, so the total work is O(n + m).
+    while (cursor > 0 && !bucket[cursor - 1].empty()) --cursor;
+    while (bucket[cursor].empty()) ++cursor;
+    NodeId v = bucket[cursor].back();
+    bucket[cursor].pop_back();
+    if (removed[v] || deg[v] != cursor) {
+      // Stale entry; re-examine this bucket.
+      --removed_count;
+      continue;
+    }
+    removed[v] = true;
+    degeneracy = std::max(degeneracy, cursor);
+    for (NodeId u : g.neighbors(v)) {
+      if (!removed[u]) {
+        --deg[u];
+        bucket[deg[u]].push_back(u);
+      }
+    }
+  }
+  return degeneracy;
+}
+
+}  // namespace
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.n = g.num_nodes();
+  s.m = g.num_edges();
+  s.max_degree = g.max_degree();
+  s.avg_degree = s.n == 0 ? 0.0 : 2.0 * static_cast<double>(s.m) / s.n;
+  connected_components(g, &s.num_components);
+  for (NodeId v = 0; v < s.n; ++v)
+    if (g.is_isolated(v)) ++s.num_isolated;
+  s.degeneracy = compute_degeneracy(g);
+  return s;
+}
+
+}  // namespace arbods

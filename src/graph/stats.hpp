@@ -1,0 +1,41 @@
+// Structural graph statistics used by tests and the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods {
+
+struct GraphStats {
+  NodeId n = 0;
+  std::size_t m = 0;
+  NodeId max_degree = 0;
+  double avg_degree = 0.0;
+  NodeId num_components = 0;
+  NodeId num_isolated = 0;
+  /// Degeneracy (max core number). Arboricity satisfies
+  /// degeneracy/2 < arboricity <= degeneracy (Nash-Williams).
+  NodeId degeneracy = 0;
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Connected component id per node (0-based, BFS order).
+std::vector<NodeId> connected_components(const Graph& g, NodeId* count = nullptr);
+
+/// True iff g has no cycle.
+bool is_forest(const Graph& g);
+
+/// True iff g is connected and has no cycle.
+bool is_tree(const Graph& g);
+
+/// BFS distances from src (kInvalidNode-distance encoded as n).
+std::vector<NodeId> bfs_distances(const Graph& g, NodeId src);
+
+/// Degree histogram: hist[d] = #nodes of degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+}  // namespace arbods

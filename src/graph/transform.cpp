@@ -1,0 +1,75 @@
+#include "graph/transform.hpp"
+
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace arbods {
+
+Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+  std::unordered_map<NodeId, NodeId> to_new;
+  to_new.reserve(nodes.size() * 2);
+  std::vector<NodeId> to_original(nodes.begin(), nodes.end());
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    ARBODS_CHECK(nodes[i] < g.num_nodes());
+    bool inserted = to_new.emplace(nodes[i], i).second;
+    ARBODS_CHECK_MSG(inserted, "duplicate node " << nodes[i]);
+  }
+  GraphBuilder b(static_cast<NodeId>(nodes.size()));
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    for (NodeId v : g.neighbors(nodes[i])) {
+      auto it = to_new.find(v);
+      if (it != to_new.end() && i < it->second) b.add_edge(i, it->second);
+    }
+  }
+  return {std::move(b).build(), std::move(to_original)};
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  GraphBuilder out(a.num_nodes() + b.num_nodes());
+  for (const Edge& e : a.edges()) out.add_edge(e.u, e.v);
+  const NodeId shift = a.num_nodes();
+  for (const Edge& e : b.edges()) out.add_edge(e.u + shift, e.v + shift);
+  return std::move(out).build();
+}
+
+Graph disjoint_copies(const Graph& g, NodeId k) {
+  const NodeId n = g.num_nodes();
+  GraphBuilder out(n * k);
+  const auto edges = g.edges();
+  for (NodeId i = 0; i < k; ++i)
+    for (const Edge& e : edges) out.add_edge(e.u + i * n, e.v + i * n);
+  return std::move(out).build();
+}
+
+Graph subdivide_edges(const Graph& g) {
+  const auto edges = g.edges();
+  GraphBuilder out(g.num_nodes() + static_cast<NodeId>(edges.size()));
+  NodeId mid = g.num_nodes();
+  for (const Edge& e : edges) {
+    out.add_edge(e.u, mid);
+    out.add_edge(mid, e.v);
+    ++mid;
+  }
+  return std::move(out).build();
+}
+
+Graph overlay(const Graph& a, const Graph& b) {
+  ARBODS_CHECK(a.num_nodes() == b.num_nodes());
+  GraphBuilder out(a.num_nodes());
+  for (const Edge& e : a.edges()) out.add_edge(e.u, e.v);
+  for (const Edge& e : b.edges()) out.add_edge(e.u, e.v);
+  return std::move(out).build();
+}
+
+Graph complement(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  GraphBuilder out(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (!g.has_edge(u, v)) out.add_edge(u, v);
+  return std::move(out).build();
+}
+
+}  // namespace arbods

@@ -1,0 +1,40 @@
+// Structural graph transformations (used heavily by the Section 5
+// lower-bound construction and by the generators).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods {
+
+/// Result of an induced-subgraph extraction: the subgraph plus the map
+/// from new ids to original ids.
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;  // size = graph.num_nodes()
+};
+
+/// Induced subgraph on `nodes` (duplicates rejected).
+Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+/// Disjoint union: nodes of `b` are shifted by a.num_nodes().
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// k disjoint copies of g; copy i occupies ids [i*n, (i+1)*n).
+Graph disjoint_copies(const Graph& g, NodeId k);
+
+/// Subdivides every edge once: each edge {u,v} becomes u—x—v with a fresh
+/// middle node x. Middle nodes get ids n, n+1, ... in the lexicographic
+/// order of the original edges (u < v).
+Graph subdivide_edges(const Graph& g);
+
+/// Union of edge sets of two graphs over the same node set.
+Graph overlay(const Graph& a, const Graph& b);
+
+/// Complement graph (for small n only; quadratic).
+Graph complement(const Graph& g);
+
+}  // namespace arbods

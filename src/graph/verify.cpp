@@ -1,0 +1,76 @@
+#include "graph/verify.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace arbods {
+
+std::vector<bool> dominated_mask(const Graph& g, std::span<const NodeId> set) {
+  std::vector<bool> dom(g.num_nodes(), false);
+  for (NodeId s : set) {
+    ARBODS_CHECK(s < g.num_nodes());
+    dom[s] = true;
+    for (NodeId u : g.neighbors(s)) dom[u] = true;
+  }
+  return dom;
+}
+
+bool is_dominating_set(const Graph& g, std::span<const NodeId> set) {
+  auto dom = dominated_mask(g, set);
+  return std::all_of(dom.begin(), dom.end(), [](bool b) { return b; });
+}
+
+std::vector<NodeId> undominated_nodes(const Graph& g,
+                                      std::span<const NodeId> set) {
+  auto dom = dominated_mask(g, set);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (!dom[v]) out.push_back(v);
+  return out;
+}
+
+bool is_vertex_cover(const Graph& g, std::span<const NodeId> set) {
+  std::vector<bool> in(g.num_nodes(), false);
+  for (NodeId s : set) {
+    ARBODS_CHECK(s < g.num_nodes());
+    in[s] = true;
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.neighbors(u))
+      if (u < v && !in[u] && !in[v]) return false;
+  return true;
+}
+
+bool is_valid_node_set(const Graph& g, std::span<const NodeId> set) {
+  std::unordered_set<NodeId> seen;
+  seen.reserve(set.size() * 2);
+  for (NodeId v : set) {
+    if (v >= g.num_nodes()) return false;
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+bool is_feasible_packing(const WeightedGraph& wg, std::span<const double> x,
+                         double tol) {
+  const Graph& g = wg.graph();
+  ARBODS_CHECK(x.size() == g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    double sum = x[u];
+    for (NodeId v : g.neighbors(u)) sum += x[v];
+    if (!leq_with_slack(sum, static_cast<double>(wg.weight(u)), tol))
+      return false;
+  }
+  return true;
+}
+
+double packing_lower_bound(std::span<const double> x) {
+  double sum = 0;
+  for (double v : x) sum += v;
+  return sum;
+}
+
+}  // namespace arbods

@@ -1,0 +1,41 @@
+// Independent verifiers for solution certificates.
+//
+// These are deliberately written as naive direct checks (no sharing with the
+// algorithms they validate) so tests catch algorithmic bugs rather than
+// reproduce them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods {
+
+/// True iff every node is in `set` or adjacent to a member of `set`.
+bool is_dominating_set(const Graph& g, std::span<const NodeId> set);
+
+/// Nodes not dominated by `set` (empty iff is_dominating_set).
+std::vector<NodeId> undominated_nodes(const Graph& g,
+                                      std::span<const NodeId> set);
+
+/// True iff every edge has at least one endpoint in `set`.
+bool is_vertex_cover(const Graph& g, std::span<const NodeId> set);
+
+/// Closed-neighborhood coverage bitmap of `set`.
+std::vector<bool> dominated_mask(const Graph& g, std::span<const NodeId> set);
+
+/// Checks that `set` contains no duplicate ids and all ids are < n.
+bool is_valid_node_set(const Graph& g, std::span<const NodeId> set);
+
+/// Dual (packing) feasibility from Lemma 2.1: for every u,
+/// sum_{v in N+(u)} x_v <= w_u (within `tol` relative slack).
+bool is_feasible_packing(const WeightedGraph& wg, std::span<const double> x,
+                         double tol = 1e-9);
+
+/// The certified lower bound of Lemma 2.1: sum_v x_v <= OPT.
+double packing_lower_bound(std::span<const double> x);
+
+}  // namespace arbods

@@ -1,0 +1,64 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
+namespace arbods {
+
+WeightedGraph::WeightedGraph(Graph g, std::vector<Weight> weights)
+    : graph_(std::move(g)), weights_(std::move(weights)) {
+  ARBODS_CHECK_MSG(weights_.size() == graph_.num_nodes(),
+                   "weights size " << weights_.size() << " != n "
+                                   << graph_.num_nodes());
+  for (std::size_t v = 0; v < weights_.size(); ++v)
+    ARBODS_CHECK_MSG(weights_[v] >= 1,
+                     "weight of node " << v << " is " << weights_[v]
+                                       << "; must be >= 1");
+}
+
+WeightedGraph WeightedGraph::uniform(Graph g) {
+  std::vector<Weight> w(g.num_nodes(), 1);
+  return WeightedGraph(std::move(g), std::move(w));
+}
+
+Weight WeightedGraph::weight(NodeId v) const {
+  ARBODS_DCHECK(v < num_nodes());
+  return weights_[v];
+}
+
+Weight WeightedGraph::total_weight(std::span<const NodeId> nodes) const {
+  Weight sum = 0;
+  for (NodeId v : nodes) sum += weight(v);
+  return sum;
+}
+
+Weight WeightedGraph::max_weight() const {
+  Weight w = 1;
+  for (Weight x : weights_) w = std::max(w, x);
+  return w;
+}
+
+Weight WeightedGraph::tau(NodeId v) const {
+  Weight t = weight(v);
+  for (NodeId u : graph_.neighbors(v)) t = std::min(t, weight(u));
+  return t;
+}
+
+std::vector<Weight> WeightedGraph::all_tau() const {
+  std::vector<Weight> t(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) t[v] = tau(v);
+  return t;
+}
+
+int WeightedGraph::weight_bits() const {
+  return bit_width_for(static_cast<std::uint64_t>(max_weight()));
+}
+
+bool WeightedGraph::is_uniform() const {
+  return std::all_of(weights_.begin(), weights_.end(),
+                     [](Weight w) { return w == 1; });
+}
+
+}  // namespace arbods

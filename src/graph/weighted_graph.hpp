@@ -1,0 +1,54 @@
+// A Graph together with positive integer node weights.
+//
+// The paper assumes weights are positive integers bounded by n^c; the
+// constructor enforces positivity, and weight_bits() reports the width used
+// by the CONGEST message-size accounting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods {
+
+class WeightedGraph {
+ public:
+  /// Takes ownership of g and weights. weights.size() must equal
+  /// g.num_nodes(); every weight must be >= 1.
+  WeightedGraph(Graph g, std::vector<Weight> weights);
+
+  /// All weights 1 (the unweighted problem).
+  static WeightedGraph uniform(Graph g);
+
+  const Graph& graph() const { return graph_; }
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+
+  Weight weight(NodeId v) const;
+  std::span<const Weight> weights() const { return weights_; }
+
+  /// Sum of weights over a node set.
+  Weight total_weight(std::span<const NodeId> nodes) const;
+
+  /// Largest node weight (>= 1; returns 1 for the empty graph).
+  Weight max_weight() const;
+
+  /// min weight in the closed neighborhood N+(v) — the paper's tau_v.
+  Weight tau(NodeId v) const;
+
+  /// All tau values (computed once, O(m)).
+  std::vector<Weight> all_tau() const;
+
+  /// Bits needed to transmit any single weight.
+  int weight_bits() const;
+
+  /// True iff every weight equals 1.
+  bool is_uniform() const;
+
+ private:
+  Graph graph_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace arbods

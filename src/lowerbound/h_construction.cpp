@@ -1,0 +1,110 @@
+#include "lowerbound/h_construction.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace arbods::lowerbound {
+
+HConstruction::HConstruction(const Graph& base, NodeId copies)
+    : base_(base), base_edges_(base.edges()), copies_(copies),
+      block_(base.num_nodes() + static_cast<NodeId>(base_edges_.size())) {
+  ARBODS_CHECK(copies >= 1);
+  const NodeId n = base_.num_nodes();
+  const NodeId m = static_cast<NodeId>(base_edges_.size());
+  GraphBuilder b(copies_ * block_ + n);
+  for (NodeId c = 0; c < copies_; ++c) {
+    for (NodeId j = 0; j < m; ++j) {
+      const Edge& e = base_edges_[j];
+      b.add_edge(copy_node(c, e.u), middle_node(c, j));
+      b.add_edge(middle_node(c, j), copy_node(c, e.v));
+    }
+    for (NodeId v = 0; v < n; ++v) b.add_edge(t_node(v), copy_node(c, v));
+  }
+  h_ = std::move(b).build();
+}
+
+NodeId HConstruction::copy_node(NodeId copy, NodeId g_node) const {
+  ARBODS_DCHECK(copy < copies_ && g_node < base_.num_nodes());
+  return copy * block_ + g_node;
+}
+
+NodeId HConstruction::middle_node(NodeId copy, NodeId edge_index) const {
+  ARBODS_DCHECK(copy < copies_ &&
+                edge_index < static_cast<NodeId>(base_edges_.size()));
+  return copy * block_ + base_.num_nodes() + edge_index;
+}
+
+NodeId HConstruction::t_node(NodeId g_node) const {
+  ARBODS_DCHECK(g_node < base_.num_nodes());
+  return copies_ * block_ + g_node;
+}
+
+HRole HConstruction::role(NodeId h_node) const {
+  ARBODS_DCHECK(h_node < h_.num_nodes());
+  if (h_node >= copies_ * block_) return HRole::kT;
+  return (h_node % block_) < base_.num_nodes() ? HRole::kCopy : HRole::kMiddle;
+}
+
+NodeId HConstruction::origin(NodeId h_node) const {
+  if (role(h_node) == HRole::kT) return h_node - copies_ * block_;
+  const NodeId within = h_node % block_;
+  return role(h_node) == HRole::kCopy ? within : within - base_.num_nodes();
+}
+
+NodeId HConstruction::copy_of(NodeId h_node) const {
+  if (role(h_node) == HRole::kT) return kInvalidNode;
+  return h_node / block_;
+}
+
+Orientation HConstruction::witness_orientation() const {
+  std::vector<std::vector<NodeId>> out(h_.num_nodes());
+  const NodeId n = base_.num_nodes();
+  const NodeId m = static_cast<NodeId>(base_edges_.size());
+  for (NodeId c = 0; c < copies_; ++c) {
+    for (NodeId j = 0; j < m; ++j) {
+      const Edge& e = base_edges_[j];
+      out[middle_node(c, j)].push_back(copy_node(c, e.u));
+      out[middle_node(c, j)].push_back(copy_node(c, e.v));
+    }
+    for (NodeId v = 0; v < n; ++v)
+      out[copy_node(c, v)].push_back(t_node(v));
+  }
+  Orientation o(h_, std::move(out));
+  o.validate();
+  ARBODS_CHECK(o.max_out_degree() <= 2);
+  return o;
+}
+
+std::vector<double> HConstruction::project_to_fractional_vc(
+    const std::vector<NodeId>& h_dominating_set) const {
+  const NodeId n = base_.num_nodes();
+  // count[v] = number of copies i with v (or a middle node replaced by an
+  // endpoint adjacent to it) in S_i.
+  std::vector<std::vector<bool>> in_copy(
+      copies_, std::vector<bool>(n, false));
+  for (NodeId h_node : h_dominating_set) {
+    switch (role(h_node)) {
+      case HRole::kT:
+        break;  // T nodes do not contribute to the vertex cover
+      case HRole::kCopy:
+        in_copy[copy_of(h_node)][origin(h_node)] = true;
+        break;
+      case HRole::kMiddle: {
+        // Replace the middle node by one endpoint of its edge.
+        const Edge& e = base_edges_[origin(h_node)];
+        in_copy[copy_of(h_node)][e.u] = true;
+        break;
+      }
+    }
+  }
+  std::vector<double> y(n, 0.0);
+  for (NodeId c = 0; c < copies_; ++c)
+    for (NodeId v = 0; v < n; ++v)
+      if (in_copy[c][v]) y[v] += 1.0;
+  for (NodeId v = 0; v < n; ++v) y[v] /= static_cast<double>(copies_);
+  return y;
+}
+
+}  // namespace arbods::lowerbound

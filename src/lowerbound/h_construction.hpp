@@ -1,0 +1,65 @@
+// The Section 5 lower-bound graph H (Figure 1).
+//
+// From a base graph G with n nodes and m edges:
+//   * `copies` disjoint copies G_1..G_k of G (the paper uses k = Delta^2),
+//   * every edge of every copy subdivided by a fresh middle node,
+//   * a set T of n fresh nodes, t_v adjacent to every copy of v.
+// Properties (verified by structure_report / tests):
+//   * |V(H)| = k(n+m) + n, |E(H)| = k(2m + n),
+//   * max degree: middle nodes 2, copy nodes deg_G(v) + 1, t_v exactly k,
+//   * arboricity 2, witnessed by the explicit orientation of the paper
+//     (middle nodes orient outward, T-edges orient into T).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arboricity/orientation.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::lowerbound {
+
+enum class HRole : std::uint8_t { kCopy, kMiddle, kT };
+
+class HConstruction {
+ public:
+  /// copies >= 1. The paper's choice is copies = Delta(G)^2; smaller values
+  /// keep experiments tractable and preserve the structure.
+  HConstruction(const Graph& base, NodeId copies);
+
+  const Graph& h() const { return h_; }
+  const Graph& base() const { return base_; }
+  NodeId copies() const { return copies_; }
+
+  HRole role(NodeId h_node) const;
+  /// For kCopy/kT nodes: the original G node. For kMiddle: the edge index
+  /// into base_edges().
+  NodeId origin(NodeId h_node) const;
+  /// Copy index for kCopy/kMiddle nodes (kInvalidNode for T).
+  NodeId copy_of(NodeId h_node) const;
+
+  NodeId copy_node(NodeId copy, NodeId g_node) const;
+  NodeId middle_node(NodeId copy, NodeId edge_index) const;
+  NodeId t_node(NodeId g_node) const;
+
+  const std::vector<Edge>& base_edges() const { return base_edges_; }
+
+  /// The paper's arboricity-2 witness orientation (validated).
+  Orientation witness_orientation() const;
+
+  /// Projects a dominating set of H to a fractional vertex cover of G per
+  /// the reduction in Theorem 1.4's proof: middle nodes are replaced by an
+  /// endpoint, and y_v = |{i : v in S_i}| / copies.
+  std::vector<double> project_to_fractional_vc(
+      const std::vector<NodeId>& h_dominating_set) const;
+
+ private:
+  Graph base_;
+  std::vector<Edge> base_edges_;
+  NodeId copies_;
+  NodeId block_;  // n + m, nodes per copy block
+  Graph h_;
+};
+
+}  // namespace arbods::lowerbound

@@ -1,0 +1,71 @@
+#include "lowerbound/kmw_base.hpp"
+
+#include <algorithm>
+
+#include "baselines/simplex.hpp"
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+#include "graph/builder.hpp"
+
+namespace arbods::lowerbound {
+
+Graph circulant_bipartite(NodeId a, NodeId b, NodeId d) {
+  ARBODS_CHECK(a >= 1 && b >= 1 && d >= 1);
+  GraphBuilder builder(a + b);
+  const NodeId dd = std::min(d, a);
+  for (NodeId j = 0; j < b; ++j)
+    for (NodeId i = 0; i < dd; ++i)
+      builder.add_edge((j + i) % a, a + j);
+  return std::move(builder).build();
+}
+
+Graph layered_cluster_tree(NodeId levels, NodeId delta, NodeId width) {
+  ARBODS_CHECK(levels >= 2 && delta >= 1 && width >= 1);
+  // Layer sizes: width * delta^l, l = 0..levels-1.
+  std::vector<NodeId> layer_start(levels + 1);
+  NodeId total = 0;
+  for (NodeId l = 0; l < levels; ++l) {
+    layer_start[l] = total;
+    const std::int64_t size =
+        static_cast<std::int64_t>(width) * ipow_saturating(delta, l);
+    ARBODS_CHECK_MSG(size < (1 << 24), "layered cluster tree too large");
+    total += static_cast<NodeId>(size);
+  }
+  layer_start[levels] = total;
+  GraphBuilder b(total);
+  for (NodeId l = 0; l + 1 < levels; ++l) {
+    const NodeId cur = layer_start[l + 1] - layer_start[l];
+    for (NodeId i = 0; i < cur; ++i) {
+      const NodeId parent = layer_start[l] + i;
+      for (NodeId c = 0; c < delta; ++c) {
+        const NodeId child = layer_start[l + 1] + i * delta + c;
+        b.add_edge(parent, child);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+double fractional_vc_value(const Graph& g) {
+  const auto edges = g.edges();
+  std::vector<baselines::SparseRow> rows;
+  rows.reserve(edges.size());
+  std::vector<double> rhs(edges.size(), 1.0);
+  std::vector<double> costs(g.num_nodes(), 1.0);
+  for (const Edge& e : edges)
+    rows.push_back({{static_cast<int>(e.u), 1.0}, {static_cast<int>(e.v), 1.0}});
+  auto res = baselines::solve_covering_lp(static_cast<int>(g.num_nodes()),
+                                          rows, rhs, costs);
+  ARBODS_CHECK(res.feasible);
+  return res.objective;
+}
+
+bool is_fractional_vc(const Graph& g, const std::vector<double>& y,
+                      double tol) {
+  ARBODS_CHECK(y.size() == g.num_nodes());
+  for (const Edge& e : g.edges())
+    if (y[e.u] + y[e.v] < 1.0 - tol) return false;
+  return true;
+}
+
+}  // namespace arbods::lowerbound

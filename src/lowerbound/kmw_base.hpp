@@ -1,0 +1,36 @@
+// Base graphs for the Theorem 1.4 reduction.
+//
+// The true Kuhn–Moscibroda–Wattenhofer lower-bound instances are cluster
+// trees with girth and degree constraints that only bind asymptotically;
+// reproducing the *reduction* (graph H) needs a bipartite base graph G
+// with m >= n and integrality gap 1 for vertex cover. These generators
+// provide such bases at laptop scale; the substitution is documented in
+// DESIGN.md.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::lowerbound {
+
+/// d-regular-ish bipartite circulant: sides A = [0,a), B = [a,a+b);
+/// B-node j connects to A-nodes (j+i) mod a for i < min(d,a).
+/// Deterministic, m = b*min(d,a).
+Graph circulant_bipartite(NodeId a, NodeId b, NodeId d);
+
+/// KMW-flavoured layered cluster graph: `levels` layers, layer l holding
+/// width * delta^l nodes is fully matched to layer l+1 in a delta-regular
+/// bipartite pattern (layer l node feeds delta children; each child keeps
+/// one parent). Bipartite (layers alternate), high-degree hubs at the top.
+Graph layered_cluster_tree(NodeId levels, NodeId delta, NodeId width);
+
+/// Fractional minimum vertex cover value of g (LP optimum; on bipartite
+/// graphs this equals the integral optimum by König).
+double fractional_vc_value(const Graph& g);
+
+/// True iff the assignment y is a feasible fractional vertex cover.
+bool is_fractional_vc(const Graph& g, const std::vector<double>& y,
+                      double tol = 1e-9);
+
+}  // namespace arbods::lowerbound

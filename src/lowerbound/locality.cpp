@@ -1,0 +1,39 @@
+#include "lowerbound/locality.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/partial_ds.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods::lowerbound {
+
+TruncatedRun run_truncated(const WeightedGraph& wg, NodeId alpha, double eps,
+                           std::int64_t max_rounds, CongestConfig config) {
+  Network net(wg, config);
+  PartialDsParams params;
+  params.eps = eps;
+  params.alpha = alpha;
+  params.lambda = 1.0 / ((2.0 * static_cast<double>(alpha) + 1.0) * (1.0 + eps));
+  PartialDominatingSet algo(params);
+  RunStats stats = net.run(algo, max_rounds);
+
+  TruncatedRun out;
+  out.rounds_allowed = max_rounds;
+  out.rounds_used = stats.rounds;
+  out.set = algo.partial_set();
+  // Force-complete: every node not dominated by the truncated S joins.
+  const auto dom = dominated_mask(wg.graph(), out.set);
+  for (NodeId v = 0; v < wg.num_nodes(); ++v) {
+    if (!dom[v]) {
+      out.set.push_back(v);
+      ++out.forced;
+    }
+  }
+  std::sort(out.set.begin(), out.set.end());
+  out.weight = wg.total_weight(out.set);
+  out.packing_lower_bound = packing_lower_bound(algo.packing());
+  return out;
+}
+
+}  // namespace arbods::lowerbound

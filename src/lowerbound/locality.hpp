@@ -1,0 +1,33 @@
+// Locality experiment for Theorem 1.4.
+//
+// A lower bound cannot be "measured", but its phenomenon can be exhibited:
+// truncate the Theorem 3.1 algorithm to R simulator rounds, force-complete
+// (every still-undominated node joins), and watch the solution quality
+// degrade as R shrinks — on the H construction the quality-vs-rounds curve
+// flattens only after Omega(log Delta) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "congest/network.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::lowerbound {
+
+struct TruncatedRun {
+  std::int64_t rounds_allowed = 0;
+  std::int64_t rounds_used = 0;
+  Weight weight = 0;            // weight of the force-completed set
+  std::size_t forced = 0;       // nodes added by force-completion
+  double packing_lower_bound = 0.0;  // feasible even mid-run (Obs. 4.2)
+  NodeSet set;
+};
+
+/// Runs the unweighted primal-dual algorithm truncated to `max_rounds`
+/// simulator rounds and force-completes.
+TruncatedRun run_truncated(const WeightedGraph& wg, NodeId alpha, double eps,
+                           std::int64_t max_rounds, CongestConfig config = {});
+
+}  // namespace arbods::lowerbound

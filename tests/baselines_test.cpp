@@ -1,0 +1,325 @@
+// Tests for the comparator algorithms: centralized greedy, exact
+// branch-and-bound, exact tree DP, LW-style distributed greedy, the
+// simplex LP solver, and Bansal-Umboh rounding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/bansal_umboh.hpp"
+#include "baselines/distributed_greedy.hpp"
+#include "baselines/exact.hpp"
+#include "baselines/greedy.hpp"
+#include "baselines/simplex.hpp"
+#include "baselines/tree_dp.hpp"
+#include "common/check.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods {
+namespace {
+
+// Brute-force OPT by subset enumeration, n <= 20.
+Weight brute_force_opt(const WeightedGraph& wg) {
+  const NodeId n = wg.num_nodes();
+  EXPECT_LE(n, 20u);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    NodeSet set;
+    for (NodeId v = 0; v < n; ++v)
+      if (mask & (1u << v)) set.push_back(v);
+    if (!is_dominating_set(wg.graph(), set)) continue;
+    best = std::min(best, wg.total_weight(set));
+  }
+  return best;
+}
+
+// ------------------------------------------------------------------ greedy
+
+TEST(Greedy, ValidOnVariousGraphs) {
+  Rng rng(800);
+  for (int i = 0; i < 5; ++i) {
+    Graph g = gen::erdos_renyi_gnp(120, 0.05, rng);
+    auto w = gen::uniform_weights(120, 32, rng);
+    WeightedGraph wg(std::move(g), std::move(w));
+    auto set = baselines::greedy_dominating_set(wg);
+    EXPECT_TRUE(is_dominating_set(wg.graph(), set));
+    EXPECT_TRUE(is_valid_node_set(wg.graph(), set));
+  }
+}
+
+TEST(Greedy, OptimalOnStar) {
+  auto wg = WeightedGraph::uniform(gen::star(30));
+  auto set = baselines::greedy_dominating_set(wg);
+  EXPECT_EQ(set, NodeSet{0});
+}
+
+TEST(Greedy, PrefersCheapCoverage) {
+  // Hub weight 2 vs 10 leaves of weight 1: greedy takes the hub
+  // (2/10 < 1/1... per-element price 0.2).
+  std::vector<Weight> w(11, 1);
+  w[0] = 2;
+  WeightedGraph wg(gen::star(11), std::move(w));
+  auto set = baselines::greedy_dominating_set(wg);
+  EXPECT_EQ(set, NodeSet{0});
+}
+
+TEST(Greedy, HandlesIsolatedNodes) {
+  WeightedGraph wg(Graph(5), {1, 2, 3, 4, 5});
+  auto set = baselines::greedy_dominating_set(wg);
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(Greedy, WithinLnBoundOnSmallInstances) {
+  Rng rng(801);
+  for (int i = 0; i < 6; ++i) {
+    Graph g = gen::erdos_renyi_gnp(14, 0.25, rng);
+    WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+    auto set = baselines::greedy_dominating_set(wg);
+    const Weight opt = brute_force_opt(wg);
+    const double hn = 1.0 + std::log(wg.graph().max_degree() + 1.0);
+    EXPECT_LE(static_cast<double>(wg.total_weight(set)),
+              hn * static_cast<double>(opt) + 1e-9);
+  }
+}
+
+// ------------------------------------------------------------------- exact
+
+TEST(Exact, MatchesBruteForceUnweighted) {
+  Rng rng(802);
+  for (int i = 0; i < 8; ++i) {
+    Graph g = gen::erdos_renyi_gnp(13, 0.2, rng);
+    WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+    auto res = baselines::exact_dominating_set(wg);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->weight, brute_force_opt(wg)) << "trial " << i;
+    EXPECT_TRUE(is_dominating_set(wg.graph(), res->set));
+    EXPECT_EQ(wg.total_weight(res->set), res->weight);
+  }
+}
+
+TEST(Exact, MatchesBruteForceWeighted) {
+  Rng rng(803);
+  for (int i = 0; i < 8; ++i) {
+    Graph g = gen::erdos_renyi_gnp(12, 0.25, rng);
+    auto w = gen::uniform_weights(12, 9, rng);
+    WeightedGraph wg(std::move(g), std::move(w));
+    auto res = baselines::exact_dominating_set(wg);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->weight, brute_force_opt(wg)) << "trial " << i;
+  }
+}
+
+TEST(Exact, SolvesModerateSparseInstances) {
+  Rng rng(804);
+  Graph g = gen::k_tree_union(34, 2, rng);
+  WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+  auto res = baselines::exact_dominating_set(wg);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(is_dominating_set(wg.graph(), res->set));
+}
+
+TEST(Exact, BudgetExhaustionReturnsNullopt) {
+  Rng rng(805);
+  Graph g = gen::erdos_renyi_gnp(40, 0.3, rng);
+  WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+  auto res = baselines::exact_dominating_set(wg, /*node_budget=*/10);
+  EXPECT_FALSE(res.has_value());
+}
+
+// ----------------------------------------------------------------- tree dp
+
+TEST(TreeDp, MatchesExactOnSmallForests) {
+  Rng rng(806);
+  for (int i = 0; i < 10; ++i) {
+    Graph g = gen::random_forest(16, 3, rng);
+    auto w = gen::uniform_weights(16, 8, rng);
+    WeightedGraph wg(std::move(g), std::move(w));
+    auto dp = baselines::tree_dominating_set(wg);
+    auto bb = baselines::exact_dominating_set(wg);
+    ASSERT_TRUE(bb.has_value());
+    EXPECT_EQ(dp.weight, bb->weight) << "trial " << i;
+    EXPECT_TRUE(is_dominating_set(wg.graph(), dp.set));
+    EXPECT_EQ(wg.total_weight(dp.set), dp.weight);
+  }
+}
+
+TEST(TreeDp, LargeTreeValidAndConsistent) {
+  Rng rng(807);
+  Graph g = gen::random_tree_prufer(5000, rng);
+  auto w = gen::uniform_weights(5000, 100, rng);
+  WeightedGraph wg(std::move(g), std::move(w));
+  auto dp = baselines::tree_dominating_set(wg);
+  EXPECT_TRUE(is_dominating_set(wg.graph(), dp.set));
+}
+
+TEST(TreeDp, RejectsNonForest) {
+  auto wg = WeightedGraph::uniform(gen::cycle(5));
+  EXPECT_THROW(baselines::tree_dominating_set(wg), CheckError);
+}
+
+TEST(TreeDp, PathKnownOptimum) {
+  // P6 unweighted: OPT = 2 ({1,4}).
+  auto wg = WeightedGraph::uniform(gen::path(6));
+  EXPECT_EQ(baselines::tree_dominating_set(wg).weight, 2);
+}
+
+TEST(TreeDp, WeightedPathPrefersCheapCenters) {
+  // 0-1-2 with weights 100, 1, 100: OPT = {1}.
+  WeightedGraph wg(gen::path(3), {100, 1, 100});
+  auto dp = baselines::tree_dominating_set(wg);
+  EXPECT_EQ(dp.set, NodeSet{1});
+}
+
+TEST(TreeDp, IsolatedNodes) {
+  WeightedGraph wg(Graph(3), {5, 6, 7});
+  auto dp = baselines::tree_dominating_set(wg);
+  EXPECT_EQ(dp.weight, 18);
+}
+
+// ------------------------------------------------------- threshold greedy
+
+TEST(ThresholdGreedy, ValidAndPhaseBounded) {
+  Rng rng(808);
+  for (int i = 0; i < 4; ++i) {
+    Graph g = gen::barabasi_albert(300, 3, rng);
+    WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+    Network net(wg);
+    baselines::ThresholdGreedyMds algo;
+    RunStats stats = net.run(algo, 100000);
+    ASSERT_FALSE(stats.hit_round_limit);
+    MdsResult res = algo.result(net);
+    res.validate(wg);
+    EXPECT_LE(res.iterations,
+              3 + static_cast<std::int64_t>(
+                      std::ceil(std::log2(wg.graph().max_degree() + 1.0))));
+  }
+}
+
+TEST(ThresholdGreedy, StarResolvedQuickly) {
+  auto wg = WeightedGraph::uniform(gen::star(128));
+  Network net(wg);
+  baselines::ThresholdGreedyMds algo;
+  net.run(algo, 10000);
+  MdsResult res = algo.result(net);
+  res.validate(wg);
+  // Hub has full uncovered degree in phase 0 and joins alone.
+  EXPECT_EQ(res.dominating_set, NodeSet{0});
+}
+
+TEST(ThresholdGreedy, EmptyGraph) {
+  auto wg = WeightedGraph::uniform(Graph(0));
+  Network net(wg);
+  baselines::ThresholdGreedyMds algo;
+  RunStats stats = net.run(algo, 10);
+  EXPECT_FALSE(stats.hit_round_limit);
+}
+
+// ---------------------------------------------------------------- election
+
+TEST(ElectionGreedy, ValidOnManyFamilies) {
+  Rng rng(809);
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::grid(10, 10));
+  graphs.push_back(gen::random_tree_prufer(150, rng));
+  graphs.push_back(gen::erdos_renyi_gnp(150, 0.05, rng));
+  graphs.push_back(Graph(7));  // isolated nodes
+  for (auto& g : graphs) {
+    WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+    Network net(wg);
+    baselines::ElectionGreedyMds algo;
+    RunStats stats = net.run(algo, 10000);
+    ASSERT_FALSE(stats.hit_round_limit);
+    MdsResult res = algo.result(net);
+    res.validate(wg);
+  }
+}
+
+TEST(ElectionGreedy, CompletesInOnePhase) {
+  Rng rng(810);
+  auto wg = WeightedGraph::uniform(gen::random_tree_prufer(200, rng));
+  Network net(wg);
+  baselines::ElectionGreedyMds algo;
+  RunStats stats = net.run(algo, 10000);
+  EXPECT_LE(stats.rounds, 9);  // 4-round phase + termination checks
+}
+
+// ----------------------------------------------------------------- simplex
+
+TEST(Simplex, TinyKnownLp) {
+  // min x0 + x1 s.t. x0 + x1 >= 1, x0 >= 0.25 -> optimum 1 at (0.25, 0.75)
+  // or (1, 0): value 1.
+  std::vector<baselines::SparseRow> rows{
+      {{0, 1.0}, {1, 1.0}},
+      {{0, 1.0}},
+  };
+  auto res = baselines::solve_covering_lp(2, rows, {1.0, 0.25}, {1.0, 1.0});
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 1.0, 1e-7);
+}
+
+TEST(Simplex, WeightedObjective) {
+  // min 3a + b s.t. a + b >= 2 -> b = 2, objective 2.
+  std::vector<baselines::SparseRow> rows{{{0, 1.0}, {1, 1.0}}};
+  auto res = baselines::solve_covering_lp(2, rows, {2.0}, {3.0, 1.0});
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.objective, 2.0, 1e-7);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, FractionalMdsOnCycleIsNOver3) {
+  // C_9: LP optimum n/3 = 3 (x_v = 1/3).
+  auto wg = WeightedGraph::uniform(gen::cycle(9));
+  auto res = baselines::solve_fractional_mds(wg);
+  EXPECT_NEAR(res.objective, 3.0, 1e-6);
+}
+
+TEST(Simplex, FractionalMdsOnStarIsOne) {
+  auto wg = WeightedGraph::uniform(gen::star(20));
+  auto res = baselines::solve_fractional_mds(wg);
+  EXPECT_NEAR(res.objective, 1.0, 1e-6);
+}
+
+TEST(Simplex, LpIsLowerBoundOnIntegralOpt) {
+  Rng rng(811);
+  for (int i = 0; i < 5; ++i) {
+    Graph g = gen::erdos_renyi_gnp(14, 0.2, rng);
+    WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+    auto lp = baselines::solve_fractional_mds(wg);
+    const Weight opt = brute_force_opt(wg);
+    EXPECT_LE(lp.objective, static_cast<double>(opt) + 1e-6);
+    // LP solution is a feasible fractional dominating set.
+    for (NodeId v = 0; v < wg.num_nodes(); ++v) {
+      double cover = lp.x[v];
+      for (NodeId u : wg.graph().neighbors(v)) cover += lp.x[u];
+      EXPECT_GE(cover, 1.0 - 1e-7);
+    }
+  }
+}
+
+// ------------------------------------------------------------ bansal-umboh
+
+TEST(BansalUmboh, ValidAndWithinBound) {
+  Rng rng(812);
+  for (NodeId alpha : {1u, 2u, 3u}) {
+    Graph g = gen::k_tree_union(60, alpha, rng);
+    auto res = baselines::bansal_umboh_dominating_set(g, alpha);
+    EXPECT_TRUE(is_dominating_set(g, res.set));
+    EXPECT_LE(static_cast<double>(res.set.size()),
+              (2.0 * alpha + 1.0) * res.lp_value + 1e-6)
+        << "alpha " << alpha;
+  }
+}
+
+TEST(BansalUmboh, StarTakesHub) {
+  auto res = baselines::bansal_umboh_dominating_set(gen::star(30), 1);
+  EXPECT_TRUE(is_dominating_set(gen::star(30), res.set));
+  EXPECT_NEAR(res.lp_value, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace arbods

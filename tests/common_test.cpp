@@ -1,0 +1,284 @@
+// Unit tests for src/common: RNG, math helpers, fixed-point codec, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/fixed_point.hpp"
+#include "common/math_util.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+
+namespace arbods {
+namespace {
+
+// ----------------------------------------------------------------- checking
+
+TEST(Check, PassingCheckDoesNothing) { ARBODS_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(ARBODS_CHECK(1 + 1 == 3), CheckError);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    ARBODS_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyRoughlyMatches) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependentOfState) {
+  Rng a(99);
+  Rng s1 = a.split(5);
+  a.next_u64();  // advancing the parent must not change future splits
+  Rng s2 = a.split(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng a(99);
+  Rng s1 = a.split(1), s2 = a.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (s1.next_u64() == s2.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, SampleWithoutReplacementBasics) {
+  Rng rng(33);
+  auto s = rng.sample_without_replacement(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+  for (auto x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(Rng, SampleFullRange) {
+  Rng rng(34);
+  auto s = rng.sample_without_replacement(8, 8);
+  std::vector<std::uint64_t> want{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(s, want);
+}
+
+TEST(Rng, SampleDenseBranch) {
+  Rng rng(35);
+  auto s = rng.sample_without_replacement(10, 7);  // k > n/2 path
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+}
+
+// --------------------------------------------------------------------- math
+
+TEST(MathUtil, CeilLog2KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(MathUtil, FloorLog2KnownValues) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1023), 9);
+}
+
+TEST(MathUtil, BitWidth) {
+  EXPECT_EQ(bit_width_for(0), 1);
+  EXPECT_EQ(bit_width_for(1), 1);
+  EXPECT_EQ(bit_width_for(2), 2);
+  EXPECT_EQ(bit_width_for(255), 8);
+  EXPECT_EQ(bit_width_for(256), 9);
+}
+
+TEST(MathUtil, CeilLogBase) {
+  EXPECT_EQ(ceil_log_base(2.0, 1.0), 0);
+  EXPECT_EQ(ceil_log_base(2.0, 2.0), 1);
+  EXPECT_EQ(ceil_log_base(2.0, 8.0), 3);
+  EXPECT_EQ(ceil_log_base(2.0, 9.0), 4);
+  EXPECT_EQ(ceil_log_base(1.5, 1.5), 1);
+  // pow(1.1, 10) ~ 2.5937...
+  EXPECT_EQ(ceil_log_base(1.1, 2.5937424601000002), 10);
+}
+
+TEST(MathUtil, IpowSaturating) {
+  EXPECT_EQ(ipow_saturating(2, 10), 1024);
+  EXPECT_EQ(ipow_saturating(10, 0), 1);
+  EXPECT_EQ(ipow_saturating(0, 5), 0);
+  EXPECT_EQ(ipow_saturating(2, 63), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(MathUtil, ApproxAndSlack) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(leq_with_slack(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(leq_with_slack(1.01, 1.0));
+}
+
+// -------------------------------------------------------------- fixed point
+
+TEST(FixedPoint, ZeroRoundTrips) {
+  const auto& c = default_value_codec();
+  EXPECT_EQ(c.decode(c.encode(0.0)), 0.0);
+}
+
+TEST(FixedPoint, BitWidthMatchesLayout) {
+  FixedPointCodec c(6, 25);
+  EXPECT_EQ(c.bit_width(), 32);
+}
+
+TEST(FixedPoint, RelativeErrorBoundHolds) {
+  const auto& c = default_value_codec();
+  Rng rng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    // Values spanning the packing-value range used by the algorithms.
+    double mag = std::pow(10.0, rng.next_int(-6, 6));
+    double v = (rng.next_double() + 0.01) * mag;
+    double back = c.decode(c.encode(v));
+    EXPECT_LE(std::fabs(back - v), c.relative_error_bound() * v * 1.0001)
+        << "v=" << v;
+  }
+}
+
+TEST(FixedPoint, NegativeValues) {
+  const auto& c = default_value_codec();
+  double v = -3.25;
+  EXPECT_NEAR(c.decode(c.encode(v)), v, 1e-6);
+}
+
+TEST(FixedPoint, SaturatesInsteadOfOverflowing) {
+  FixedPointCodec c(4, 4);  // tiny range
+  double big = 1e30;
+  double back = c.decode(c.encode(big));
+  EXPECT_GT(back, 0.0);
+  EXPECT_TRUE(std::isfinite(back));
+}
+
+TEST(FixedPoint, FlushesUnderflowToZero) {
+  FixedPointCodec c(4, 4);
+  EXPECT_EQ(c.decode(c.encode(1e-30)), 0.0);
+}
+
+TEST(FixedPoint, RejectsNonFinite) {
+  const auto& c = default_value_codec();
+  EXPECT_THROW(c.encode(std::numeric_limits<double>::infinity()), CheckError);
+  EXPECT_THROW(c.encode(std::numeric_limits<double>::quiet_NaN()), CheckError);
+}
+
+TEST(FixedPoint, MonotoneOnSamples) {
+  const auto& c = default_value_codec();
+  double prev = 0.0;
+  for (double v = 0.001; v < 100.0; v *= 1.37) {
+    double q = c.decode(c.encode(v));
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedMarkdown) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(md.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_int(-7), "-7");
+}
+
+}  // namespace
+}  // namespace arbods

@@ -1,0 +1,235 @@
+// Tests for the CONGEST simulator: message encoding and bit accounting,
+// delivery semantics, cap enforcement, per-node randomness, statistics.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "gen/classic.hpp"
+
+namespace arbods {
+namespace {
+
+// ---------------------------------------------------------------- messages
+
+TEST(Message, TagAndFields) {
+  Message m = Message::tagged(3);
+  m.add_id(7).add_weight(100).add_level(5).add_flag(true).add_real(0.25);
+  EXPECT_EQ(m.tag(), 3);
+  EXPECT_EQ(m.id_at(1), 7u);
+  EXPECT_EQ(m.weight_at(2), 100);
+  EXPECT_EQ(m.level_at(3), 5);
+  EXPECT_TRUE(m.flag_at(4));
+  EXPECT_DOUBLE_EQ(m.real_at(5), 0.25);
+}
+
+TEST(Message, UntaggedTagIsMinusOne) {
+  Message m;
+  m.add_flag(false);
+  EXPECT_EQ(m.tag(), -1);
+}
+
+TEST(Message, KindMismatchThrows) {
+  Message m = Message::tagged(0);
+  m.add_flag(true);
+  EXPECT_THROW(m.id_at(1), CheckError);
+  EXPECT_THROW(m.flag_at(5), CheckError);
+}
+
+TEST(Message, BitSizeUsesModelWidths) {
+  MessageSizeModel model;
+  model.id_bits = 10;
+  model.weight_bits = 7;
+  model.level_bits = 5;
+  model.flag_bits = 1;
+  model.real_bits = 32;
+  model.tag_bits = 4;
+  Message m = Message::tagged(1);
+  m.add_id(3).add_weight(2).add_level(1).add_flag(true).add_real(1.0);
+  EXPECT_EQ(m.bit_size(model), 4 + 10 + 7 + 5 + 1 + 32);
+}
+
+TEST(Message, QuantizeRealsRoundsThroughCodec) {
+  Message m = Message::tagged(0);
+  const double v = 0.1;  // not representable exactly in 25 mantissa bits
+  m.add_real(v);
+  m.quantize_reals(default_value_codec());
+  const double q = m.real_at(1);
+  EXPECT_NE(q, 0.0);
+  EXPECT_NEAR(q, v, v * default_value_codec().relative_error_bound() * 1.01);
+}
+
+// ----------------------------------------------------------------- network
+
+// Two-round protocol: round 1 every node broadcasts its id; round 2 every
+// node records the sum of received ids.
+class EchoAlgorithm final : public DistributedAlgorithm {
+ public:
+  std::vector<std::int64_t> sums;
+
+  void initialize(Network& net) override {
+    sums.assign(net.num_nodes(), -1);
+    for (NodeId v = 0; v < net.num_nodes(); ++v)
+      net.broadcast(v, Message::tagged(0).add_id(v));
+    round_ = 0;
+  }
+
+  void process_round(Network& net) override {
+    ++round_;
+    if (round_ != 1) return;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      std::int64_t sum = 0;
+      for (const Message& m : net.inbox(v)) {
+        sum += m.id_at(1);
+        EXPECT_EQ(m.sender(), m.id_at(1));  // sender metadata is faithful
+      }
+      sums[v] = sum;
+    }
+  }
+
+  bool finished(const Network& net) const override {
+    (void)net;
+    return round_ >= 1;
+  }
+
+ private:
+  int round_ = 0;
+};
+
+TEST(Network, BroadcastDeliversToAllNeighborsNextRound) {
+  auto wg = WeightedGraph::uniform(gen::cycle(5));
+  Network net(wg);
+  EchoAlgorithm algo;
+  RunStats stats = net.run(algo, 10);
+  EXPECT_EQ(stats.rounds, 1);
+  for (NodeId v = 0; v < 5; ++v) {
+    const std::int64_t left = (v + 4) % 5, right = (v + 1) % 5;
+    EXPECT_EQ(algo.sums[v], left + right);
+  }
+}
+
+TEST(Network, MessageAndBitAccounting) {
+  auto wg = WeightedGraph::uniform(gen::cycle(5));
+  Network net(wg);
+  EchoAlgorithm algo;
+  RunStats stats = net.run(algo, 10);
+  EXPECT_EQ(stats.messages, 10);  // 5 broadcasts x degree 2
+  const int per_msg = net.size_model().tag_bits + net.size_model().id_bits;
+  EXPECT_EQ(stats.total_bits, 10 * per_msg);
+  EXPECT_EQ(stats.max_message_bits, per_msg);
+}
+
+TEST(Network, SendRejectsNonEdges) {
+  auto wg = WeightedGraph::uniform(gen::path(3));
+  Network net(wg);
+  EXPECT_THROW(net.send(0, 2, Message::tagged(0)), CheckError);
+}
+
+// An algorithm that sends one oversized message.
+class OversizeAlgorithm final : public DistributedAlgorithm {
+ public:
+  void initialize(Network& net) override {
+    Message m = Message::tagged(0);
+    for (int i = 0; i < 100; ++i) m.add_id(0);
+    net.broadcast(0, std::move(m));
+  }
+  void process_round(Network&) override {}
+  bool finished(const Network&) const override { return true; }
+};
+
+TEST(Network, EnforcesMessageCap) {
+  auto wg = WeightedGraph::uniform(gen::path(2));
+  Network net(wg);
+  OversizeAlgorithm algo;
+  EXPECT_THROW(net.run(algo, 10), CheckError);
+}
+
+TEST(Network, CapCanBeLifted) {
+  auto wg = WeightedGraph::uniform(gen::path(2));
+  CongestConfig cfg;
+  cfg.enforce_message_size = false;
+  Network net(wg, cfg);
+  OversizeAlgorithm algo;
+  RunStats stats = net.run(algo, 10);
+  EXPECT_GT(stats.max_message_bits, net.max_message_bits());
+}
+
+TEST(Network, CapOverride) {
+  auto wg = WeightedGraph::uniform(gen::path(2));
+  CongestConfig cfg;
+  cfg.max_message_bits_override = 123;
+  Network net(wg, cfg);
+  EXPECT_EQ(net.max_message_bits(), 123);
+}
+
+TEST(Network, DefaultCapScalesWithLogN) {
+  auto small = WeightedGraph::uniform(Graph(4));
+  auto big = WeightedGraph::uniform(Graph(1 << 20));
+  Network net_small(small);
+  Network net_big(big);
+  EXPECT_GE(net_big.max_message_bits(), net_small.max_message_bits());
+  EXPECT_LE(net_big.max_message_bits(), 4 * 21);
+}
+
+// Never-finishing algorithm to test the round limit.
+class ForeverAlgorithm final : public DistributedAlgorithm {
+ public:
+  void initialize(Network&) override {}
+  void process_round(Network&) override {}
+  bool finished(const Network&) const override { return false; }
+};
+
+TEST(Network, RoundLimitReported) {
+  auto wg = WeightedGraph::uniform(gen::path(3));
+  Network net(wg);
+  ForeverAlgorithm algo;
+  RunStats stats = net.run(algo, 7);
+  EXPECT_TRUE(stats.hit_round_limit);
+  EXPECT_EQ(stats.rounds, 7);
+}
+
+TEST(Network, PerNodeRngIsDeterministicAcrossNetworks) {
+  auto wg = WeightedGraph::uniform(gen::path(4));
+  CongestConfig cfg;
+  cfg.seed = 777;
+  Network a(wg, cfg), b(wg, cfg);
+  for (NodeId v = 0; v < 4; ++v)
+    EXPECT_EQ(a.rng(v).next_u64(), b.rng(v).next_u64());
+}
+
+TEST(Network, PerNodeRngStreamsDiffer) {
+  auto wg = WeightedGraph::uniform(gen::path(4));
+  Network net(wg);
+  EXPECT_NE(net.rng(0).next_u64(), net.rng(1).next_u64());
+}
+
+TEST(Network, QuantizationAppliedOnSend) {
+  auto wg = WeightedGraph::uniform(gen::path(2));
+
+  class Probe final : public DistributedAlgorithm {
+   public:
+    double received = -1;
+    void initialize(Network& net) override {
+      net.send(0, 1, Message::tagged(0).add_real(0.1));
+    }
+    void process_round(Network& net) override {
+      for (const Message& m : net.inbox(1)) received = m.real_at(1);
+    }
+    bool finished(const Network&) const override { return received >= 0; }
+  };
+
+  Probe p;
+  Network net(wg);
+  net.run(p, 5);
+  const auto& codec = default_value_codec();
+  EXPECT_EQ(p.received, codec.decode(codec.encode(0.1)));
+}
+
+TEST(Network, WeightBitsReflectMaxWeight) {
+  WeightedGraph wg(gen::path(3), {1, 100, 7});
+  Network net(wg);
+  EXPECT_EQ(net.size_model().weight_bits, 7);  // 100 needs 7 bits
+}
+
+}  // namespace
+}  // namespace arbods

@@ -1,0 +1,283 @@
+// Tests for the workload generators: structure, sizes, and — crucially for
+// this paper — the promised arboricity of every family.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arboricity/core_decomposition.hpp"
+#include "arboricity/pseudoarboricity.hpp"
+#include "common/check.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+#include "graph/stats.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods {
+namespace {
+
+// ----------------------------------------------------------------- classic
+
+TEST(Classic, PathCycleStar) {
+  EXPECT_EQ(gen::path(7).num_edges(), 6u);
+  EXPECT_EQ(gen::cycle(7).num_edges(), 7u);
+  EXPECT_EQ(gen::star(7).num_edges(), 6u);
+  EXPECT_EQ(gen::star(7).degree(0), 6u);
+}
+
+TEST(Classic, CliqueAndBipartite) {
+  EXPECT_EQ(gen::clique(6).num_edges(), 15u);
+  Graph kb = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_edges(), 12u);
+  EXPECT_EQ(kb.degree(0), 4u);
+  EXPECT_EQ(kb.degree(3), 3u);
+}
+
+TEST(Classic, GridDegreesAndSize) {
+  Graph g = gen::grid(3, 5);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_edges(), 3u * 4 + 5u * 2);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Classic, KingGridArboricityAtMost4) {
+  Graph g = gen::king_grid(8, 8);
+  EXPECT_LE(pseudoarboricity(g), 4u);
+}
+
+TEST(Classic, TorusIsFourRegular) {
+  Graph g = gen::torus(4, 5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Classic, BinaryTreeIsTree) {
+  EXPECT_TRUE(is_tree(gen::binary_tree(31)));
+}
+
+TEST(Classic, CaterpillarIsTree) {
+  Graph g = gen::caterpillar(5, 3);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Classic, BookHasArboricityTwo) {
+  Graph g = gen::book(6);
+  auto b = arboricity_bounds(g);
+  EXPECT_EQ(b.upper, 2u);
+}
+
+TEST(Classic, SpiderIsTree) { EXPECT_TRUE(is_tree(gen::spider(4, 3))); }
+
+// ------------------------------------------------------------------- trees
+
+class RandomTreeTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(RandomTreeTest, PruferTreeIsTree) {
+  Rng rng(42);
+  Graph t = gen::random_tree_prufer(GetParam(), rng);
+  EXPECT_EQ(t.num_nodes(), GetParam());
+  if (GetParam() >= 1) EXPECT_TRUE(is_tree(t));
+}
+
+TEST_P(RandomTreeTest, RecursiveTreeIsTree) {
+  Rng rng(43);
+  Graph t = gen::random_recursive_tree(GetParam(), rng);
+  if (GetParam() >= 1) EXPECT_TRUE(is_tree(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomTreeTest,
+                         ::testing::Values<NodeId>(1, 2, 3, 4, 10, 100, 1000));
+
+TEST(Trees, BoundedDegreeTreeRespectsCap) {
+  Rng rng(44);
+  for (NodeId cap : {2u, 3u, 5u}) {
+    Graph t = gen::random_bounded_degree_tree(300, cap, rng);
+    EXPECT_TRUE(is_tree(t));
+    EXPECT_LE(t.max_degree(), cap);
+  }
+}
+
+TEST(Trees, ForestHasKComponents) {
+  Rng rng(45);
+  Graph f = gen::random_forest(50, 7, rng);
+  EXPECT_TRUE(is_forest(f));
+  NodeId comp = 0;
+  connected_components(f, &comp);
+  EXPECT_EQ(comp, 7u);
+}
+
+TEST(Trees, PruferDistributionSanity) {
+  // Over many 4-node trees, both the path and the star must appear.
+  Rng rng(46);
+  bool saw_star = false, saw_path = false;
+  for (int i = 0; i < 200; ++i) {
+    Graph t = gen::random_tree_prufer(4, rng);
+    if (t.max_degree() == 3) saw_star = true;
+    if (t.max_degree() == 2) saw_path = true;
+  }
+  EXPECT_TRUE(saw_star);
+  EXPECT_TRUE(saw_path);
+}
+
+// ----------------------------------------------------------- random graphs
+
+TEST(RandomGraphs, GnpEdgeCountInRange) {
+  Rng rng(47);
+  const NodeId n = 400;
+  const double p = 0.02;
+  Graph g = gen::erdos_renyi_gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.7);
+  EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.3);
+}
+
+TEST(RandomGraphs, GnpExtremes) {
+  Rng rng(48);
+  EXPECT_EQ(gen::erdos_renyi_gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::erdos_renyi_gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(RandomGraphs, GnmExactCount) {
+  Rng rng(49);
+  Graph g = gen::erdos_renyi_gnm(50, 123, rng);
+  EXPECT_EQ(g.num_edges(), 123u);
+}
+
+TEST(RandomGraphs, BarabasiAlbertDegeneracyBound) {
+  Rng rng(50);
+  for (NodeId m : {1u, 2u, 4u}) {
+    Graph g = gen::barabasi_albert(500, m, rng);
+    EXPECT_EQ(g.num_nodes(), 500u);
+    // Each arriving node has degree m at arrival -> degeneracy <= m... the
+    // seed clique can push it to m (clique of m+1 has degeneracy m).
+    EXPECT_LE(core_decomposition(g).degeneracy, m);
+  }
+}
+
+TEST(RandomGraphs, GeometricRadiusRespected) {
+  Rng rng(51);
+  Graph g = gen::random_geometric(300, 0.08, rng);
+  // Just structural sanity: no degree can exceed n-1 and graph is simple.
+  EXPECT_LE(g.max_degree(), 299u);
+}
+
+TEST(RandomGraphs, RandomBipartiteIsBipartite) {
+  Rng rng(52);
+  Graph g = gen::random_bipartite(20, 30, 0.2, rng);
+  for (NodeId u = 0; u < 20; ++u)
+    for (NodeId v : g.neighbors(u)) EXPECT_GE(v, 20u);
+}
+
+// ------------------------------------------------- arboricity families
+
+class KTreeUnionTest : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(KTreeUnionTest, ArboricityPinnedWithinOne) {
+  const NodeId k = GetParam();
+  Rng rng(53 + k);
+  Graph g = gen::k_tree_union(400, k, rng);
+  // Nash-Williams density lower bound and pseudoarboricity upper bound
+  // must bracket k tightly.
+  auto bounds = arboricity_bounds(g);
+  EXPECT_LE(bounds.lower, k);
+  const NodeId p = pseudoarboricity(g);
+  EXPECT_LE(p, k);            // k-orientable by construction
+  EXPECT_GE(p + 1, k);        // density keeps it from collapsing
+}
+
+INSTANTIATE_TEST_SUITE_P(K, KTreeUnionTest, ::testing::Values<NodeId>(1, 2, 3, 5));
+
+TEST(ArbFamilies, PseudoforestUnionOrientable) {
+  Rng rng(54);
+  Graph g = gen::k_pseudoforest_union(200, 3, rng);
+  EXPECT_LE(pseudoarboricity(g), 3u);
+}
+
+TEST(ArbFamilies, StackedTriangulationIs3Degenerate) {
+  Rng rng(55);
+  Graph g = gen::planar_stacked_triangulation(300, rng);
+  EXPECT_EQ(g.num_edges(), 3u * 300 - 6);  // maximal planar edge count
+  EXPECT_LE(core_decomposition(g).degeneracy, 3u);
+}
+
+TEST(ArbFamilies, OuterplanarDegeneracyAtMost2) {
+  Rng rng(56);
+  Graph g = gen::random_maximal_outerplanar(200, rng);
+  EXPECT_EQ(g.num_edges(), 2u * 200 - 3);  // maximal outerplanar edge count
+  EXPECT_LE(core_decomposition(g).degeneracy, 2u);
+}
+
+TEST(ArbFamilies, CliqueTreeStructure) {
+  Rng rng(57);
+  Graph g = gen::clique_tree(10, 5, rng);
+  EXPECT_EQ(g.num_nodes(), 10u * 4 + 1);
+  NodeId comp = 0;
+  connected_components(g, &comp);
+  EXPECT_EQ(comp, 1u);
+  // Arboricity of K5 is 3 = ceil(5/2); the tree of cliques preserves it.
+  auto b = arboricity_bounds(g);
+  EXPECT_GE(b.upper, 3u);
+  EXPECT_LE(pseudoarboricity(g), 3u);
+}
+
+TEST(ArbFamilies, PlantedDominatingSetCentersDominate) {
+  Rng rng(58);
+  Graph g = gen::planted_dominating_set(200, 8, 2, rng);
+  NodeSet centers;
+  for (NodeId c = 0; c < 8; ++c) centers.push_back(c);
+  EXPECT_TRUE(is_dominating_set(g, centers));
+}
+
+// ----------------------------------------------------------------- weights
+
+TEST(Weights, UnitWeights) {
+  auto w = gen::unit_weights(5);
+  EXPECT_EQ(w, (std::vector<Weight>{1, 1, 1, 1, 1}));
+}
+
+TEST(Weights, UniformRange) {
+  Rng rng(59);
+  auto w = gen::uniform_weights(2000, 50, rng);
+  EXPECT_EQ(*std::min_element(w.begin(), w.end()), 1);
+  EXPECT_EQ(*std::max_element(w.begin(), w.end()), 50);
+}
+
+TEST(Weights, PowerLawCapAndFloor) {
+  Rng rng(60);
+  auto w = gen::power_law_weights(2000, 1.1, 1000, rng);
+  for (Weight x : w) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 1000);
+  }
+  // Heavy tail: some weight should exceed 100.
+  EXPECT_GT(*std::max_element(w.begin(), w.end()), 100);
+}
+
+TEST(Weights, DegreeProportional) {
+  Graph g = gen::star(5);
+  auto w = gen::degree_proportional_weights(g);
+  EXPECT_EQ(w[0], 5);  // hub: 1 + 4
+  EXPECT_EQ(w[1], 2);
+}
+
+TEST(Weights, InverseDegree) {
+  Graph g = gen::star(5);
+  auto w = gen::inverse_degree_weights(g);
+  EXPECT_EQ(w[0], 1);      // hub is cheapest
+  EXPECT_EQ(w[1], 4);      // 1 + 4 - 1
+}
+
+TEST(Weights, WithWeightsSchemes) {
+  Rng rng(61);
+  for (const char* scheme : {"unit", "uniform", "powerlaw", "degree", "invdegree"}) {
+    auto wg = gen::with_weights(gen::grid(4, 4), scheme, rng, 64);
+    EXPECT_EQ(wg.num_nodes(), 16u);
+    EXPECT_GE(wg.max_weight(), 1);
+  }
+  EXPECT_THROW(gen::with_weights(Graph(2), "nope", rng), CheckError);
+}
+
+}  // namespace
+}  // namespace arbods

@@ -1,0 +1,190 @@
+// Tests for the Section 5 lower-bound machinery: the H construction
+// (Figure 1), its structural invariants, the reduction projection, and the
+// truncated-round locality harness.
+#include <gtest/gtest.h>
+
+#include "arboricity/core_decomposition.hpp"
+#include "arboricity/pseudoarboricity.hpp"
+#include "baselines/exact.hpp"
+#include "baselines/greedy.hpp"
+#include "gen/classic.hpp"
+#include "graph/stats.hpp"
+#include "graph/verify.hpp"
+#include "lowerbound/h_construction.hpp"
+#include "lowerbound/kmw_base.hpp"
+#include "lowerbound/locality.hpp"
+
+namespace arbods {
+namespace {
+
+using lowerbound::HConstruction;
+using lowerbound::HRole;
+
+// ----------------------------------------------------------- construction
+
+TEST(HConstruction, NodeAndEdgeCountsMatchPaper) {
+  Graph g = gen::complete_bipartite(3, 3);  // n=6, m=9
+  const NodeId copies = 4;
+  HConstruction h(g, copies);
+  // |V| = copies*(n+m) + n, |E| = copies*(2m + n).
+  EXPECT_EQ(h.h().num_nodes(), copies * (6 + 9) + 6);
+  EXPECT_EQ(h.h().num_edges(), static_cast<std::size_t>(copies) * (2 * 9 + 6));
+}
+
+TEST(HConstruction, RolesAndOrigins) {
+  Graph g = gen::path(3);  // n=3, m=2
+  HConstruction h(g, 2);
+  // Copy 0 nodes.
+  EXPECT_EQ(h.role(h.copy_node(0, 1)), HRole::kCopy);
+  EXPECT_EQ(h.origin(h.copy_node(0, 1)), 1u);
+  EXPECT_EQ(h.copy_of(h.copy_node(0, 1)), 0u);
+  // Middle node of edge 0 in copy 1.
+  EXPECT_EQ(h.role(h.middle_node(1, 0)), HRole::kMiddle);
+  EXPECT_EQ(h.copy_of(h.middle_node(1, 0)), 1u);
+  // T nodes.
+  EXPECT_EQ(h.role(h.t_node(2)), HRole::kT);
+  EXPECT_EQ(h.origin(h.t_node(2)), 2u);
+  EXPECT_EQ(h.copy_of(h.t_node(2)), kInvalidNode);
+}
+
+TEST(HConstruction, DegreesMatchTheConstruction) {
+  Graph g = gen::complete_bipartite(2, 3);  // degrees 3,3,2,2,2; m=6
+  const NodeId copies = 5;
+  HConstruction h(g, copies);
+  // T-node degree = copies.
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(h.h().degree(h.t_node(v)), copies);
+  // Copy-node degree = deg_G + 1 (middles per incident edge + its T node).
+  for (NodeId c = 0; c < copies; ++c)
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_EQ(h.h().degree(h.copy_node(c, v)), g.degree(v) + 1);
+  // Middle nodes: exactly 2.
+  for (NodeId c = 0; c < copies; ++c)
+    for (NodeId j = 0; j < 6; ++j)
+      EXPECT_EQ(h.h().degree(h.middle_node(c, j)), 2u);
+}
+
+TEST(HConstruction, ArboricityIsTwo) {
+  Graph g = gen::complete_bipartite(3, 4);
+  HConstruction h(g, 6);
+  // The paper's witness orientation has out-degree <= 2 ...
+  Orientation o = h.witness_orientation();
+  EXPECT_LE(o.max_out_degree(), 2u);
+  // ... and the density lower bound certifies it cannot be 1.
+  auto bounds = arboricity_bounds(h.h());
+  EXPECT_GE(bounds.lower, 2u);
+  EXPECT_LE(pseudoarboricity(h.h()), 2u);
+}
+
+TEST(HConstruction, PaperChoiceOfCopiesDeltaSquared) {
+  Graph g = gen::complete_bipartite(2, 2);  // Delta = 2
+  const NodeId delta = g.max_degree();
+  HConstruction h(g, delta * delta);
+  // Max degree of H is max(Delta^2 for T, Delta+1 for copies, 2).
+  EXPECT_EQ(h.h().max_degree(), delta * delta);
+}
+
+TEST(HConstruction, ProjectionOfValidDsIsFractionalVc) {
+  Graph g = gen::complete_bipartite(3, 3);
+  HConstruction h(g, 4);
+  // Take a valid dominating set of H: greedy on uniform weights.
+  auto wg = WeightedGraph::uniform(Graph(h.h()));
+  auto ds = baselines::greedy_dominating_set(wg);
+  ASSERT_TRUE(is_dominating_set(h.h(), ds));
+  auto y = h.project_to_fractional_vc(ds);
+  EXPECT_TRUE(lowerbound::is_fractional_vc(g, y));
+}
+
+TEST(HConstruction, Equation2UpperBoundHolds) {
+  // OPT_MDS(H) <= Delta^2 * OPT_MVC(G) + n, checked exactly on a tiny base.
+  Graph g = gen::path(3);  // Delta=2, OPT_MVC = 1 (the middle node)
+  const NodeId copies = 4; // = Delta^2
+  HConstruction h(g, copies);
+  auto wg = WeightedGraph::uniform(Graph(h.h()));
+  auto exact = baselines::exact_dominating_set(wg);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(exact->weight, static_cast<Weight>(copies) * 1 + 3);
+}
+
+// ------------------------------------------------------------------- bases
+
+TEST(KmwBase, CirculantBipartiteRegularity) {
+  Graph g = lowerbound::circulant_bipartite(8, 8, 3);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 24u);
+  for (NodeId j = 8; j < 16; ++j) EXPECT_EQ(g.degree(j), 3u);
+  // Bipartite: A side has no internal edges.
+  for (NodeId u = 0; u < 8; ++u)
+    for (NodeId v : g.neighbors(u)) EXPECT_GE(v, 8u);
+}
+
+TEST(KmwBase, LayeredClusterTreeShape) {
+  Graph g = lowerbound::layered_cluster_tree(3, 2, 2);
+  // Layers: 2, 4, 8 nodes.
+  EXPECT_EQ(g.num_nodes(), 14u);
+  EXPECT_TRUE(is_forest(g));  // tree-shaped expander substitute
+}
+
+TEST(KmwBase, FractionalVcValues) {
+  EXPECT_NEAR(lowerbound::fractional_vc_value(gen::complete_bipartite(3, 5)),
+              3.0, 1e-6);  // König: min VC = 3
+  EXPECT_NEAR(lowerbound::fractional_vc_value(gen::cycle(4)), 2.0, 1e-6);
+  // Odd cycle: fractional optimum n/2.
+  EXPECT_NEAR(lowerbound::fractional_vc_value(gen::cycle(5)), 2.5, 1e-6);
+}
+
+TEST(KmwBase, IsFractionalVcChecker) {
+  Graph g = gen::path(3);
+  EXPECT_TRUE(lowerbound::is_fractional_vc(g, {0.5, 0.5, 0.5}));
+  EXPECT_FALSE(lowerbound::is_fractional_vc(g, {0.4, 0.4, 0.4}));
+}
+
+TEST(KmwBase, MfvcAtLeastMOverDelta) {
+  // The inequality OPT_MFVC >= m / Delta used in the proof.
+  Graph g = lowerbound::circulant_bipartite(10, 10, 4);
+  const double mfvc = lowerbound::fractional_vc_value(g);
+  EXPECT_GE(mfvc + 1e-9,
+            static_cast<double>(g.num_edges()) / g.max_degree());
+}
+
+// ---------------------------------------------------------------- locality
+
+TEST(Locality, ForcedCompletionAlwaysValid) {
+  Graph g = gen::complete_bipartite(4, 4);
+  HConstruction h(g, 4);
+  auto wg = WeightedGraph::uniform(Graph(h.h()));
+  for (std::int64_t rounds : {2, 4, 8, 64}) {
+    auto run = lowerbound::run_truncated(wg, 2, 0.3, rounds);
+    EXPECT_TRUE(is_dominating_set(wg.graph(), run.set)) << rounds;
+    EXPECT_EQ(wg.total_weight(run.set), run.weight);
+  }
+}
+
+TEST(Locality, MoreRoundsNoWorseQuality) {
+  Rng rng(900);
+  Graph g = lowerbound::circulant_bipartite(12, 12, 4);
+  HConstruction h(g, 6);
+  auto wg = WeightedGraph::uniform(Graph(h.h()));
+  auto few = lowerbound::run_truncated(wg, 2, 0.3, 3);
+  auto many = lowerbound::run_truncated(wg, 2, 0.3, 1000);
+  // The truncated execution is a prefix of the full one: S only grows, so
+  // the force-completed remainder can only shrink.
+  EXPECT_LE(many.forced, few.forced);
+  // The full run must meet the Theorem 3.1 certificate.
+  ASSERT_GT(many.packing_lower_bound, 0.0);
+  EXPECT_LE(static_cast<double>(many.weight) / many.packing_lower_bound,
+            5.0 * 1.3 * (1 + 1e-6));
+}
+
+TEST(Locality, FullRunMatchesTheoremQuality) {
+  Graph g = gen::complete_bipartite(4, 4);
+  HConstruction h(g, 8);
+  auto wg = WeightedGraph::uniform(Graph(h.h()));
+  auto run = lowerbound::run_truncated(wg, 2, 0.3, 100000);
+  ASSERT_GT(run.packing_lower_bound, 0.0);
+  const double ratio = static_cast<double>(run.weight) / run.packing_lower_bound;
+  EXPECT_LE(ratio, 5.0 * 1.3 * (1 + 1e-6));
+}
+
+}  // namespace
+}  // namespace arbods

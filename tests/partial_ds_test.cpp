@@ -1,0 +1,219 @@
+// Property tests for Lemma 4.1 / Lemma 3.2 — the primal-dual partial
+// dominating set. Every paper-stated property is re-checked by independent
+// verifier code across a sweep of graph families, weights, and epsilons.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/partial_ds.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods {
+namespace {
+
+struct Instance {
+  std::string name;
+  WeightedGraph wg;
+  NodeId alpha;  // orientability promise (pseudoarboricity upper bound)
+};
+
+std::vector<Instance> make_instances() {
+  std::vector<Instance> out;
+  Rng rng(2024);
+  out.push_back({"tree_unit",
+                 WeightedGraph::uniform(gen::random_tree_prufer(200, rng)), 1});
+  out.push_back(
+      {"tree_weighted",
+       WeightedGraph(gen::random_tree_prufer(200, rng),
+                     gen::uniform_weights(200, 50, rng)),
+       1});
+  out.push_back({"forest2_unit",
+                 WeightedGraph::uniform(gen::k_tree_union(150, 2, rng)), 2});
+  {
+    Graph g = gen::k_tree_union(150, 3, rng);
+    auto w = gen::uniform_weights(g.num_nodes(), 100, rng);
+    out.push_back({"forest3_weighted", WeightedGraph(std::move(g), std::move(w)), 3});
+  }
+  out.push_back({"grid", WeightedGraph::uniform(gen::grid(12, 12)), 2});
+  out.push_back({"star", WeightedGraph::uniform(gen::star(100)), 1});
+  {
+    Graph g = gen::barabasi_albert(200, 3, rng);
+    auto w = gen::power_law_weights(g.num_nodes(), 1.3, 200, rng);
+    out.push_back({"ba3_powerlaw", WeightedGraph(std::move(g), std::move(w)), 3});
+  }
+  {
+    Graph g = gen::planar_stacked_triangulation(150, rng);
+    out.push_back({"planar", WeightedGraph::uniform(std::move(g)), 3});
+  }
+  out.push_back({"cycle", WeightedGraph::uniform(gen::cycle(101)), 1});
+  {
+    Graph g = gen::grid(10, 10);
+    auto w = gen::degree_proportional_weights(g);
+    out.push_back({"grid_degw", WeightedGraph(std::move(g), std::move(w)), 2});
+  }
+  return out;
+}
+
+struct Case {
+  std::size_t instance;
+  double eps;
+};
+
+class PartialDsProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  static const std::vector<Instance>& instances() {
+    static const std::vector<Instance> kInstances = make_instances();
+    return kInstances;
+  }
+};
+
+TEST_P(PartialDsProperty, Lemma41PropertiesHold) {
+  const auto& [idx, eps] = GetParam();
+  const Instance& inst = instances()[idx];
+  const WeightedGraph& wg = inst.wg;
+  const double lambda =
+      1.0 / ((2.0 * static_cast<double>(inst.alpha) + 1.0) * (1.0 + eps));
+
+  Network net(wg);
+  PartialDsParams params{eps, lambda, inst.alpha};
+  PartialDominatingSet algo(params);
+  RunStats stats = net.run(algo, 1000000);
+  ASSERT_FALSE(stats.hit_round_limit);
+
+  const auto& x = algo.packing();
+  const auto& dominated = algo.dominated();
+  const auto taus = wg.all_tau();
+
+  // Observation 4.2: feasibility at all times; we check the final state.
+  EXPECT_TRUE(is_feasible_packing(wg, x, 1e-6)) << inst.name;
+
+  // Property (b) / Observation 4.3: undominated above the bar, dominated
+  // below it (small slack for the fixed-point message codec).
+  for (NodeId v = 0; v < wg.num_nodes(); ++v) {
+    const double bar = lambda * static_cast<double>(taus[v]);
+    if (!dominated[v]) {
+      EXPECT_GE(x[v], bar * (1 - 1e-9)) << inst.name << " node " << v;
+    } else {
+      EXPECT_LE(x[v], bar * (1 + 1e-6)) << inst.name << " node " << v;
+    }
+  }
+
+  // Property (a): w_S <= alpha * (1/(1+eps) - lambda(alpha+1))^{-1}
+  //               * sum_{v in N+(S)} x_v.
+  const double factor =
+      static_cast<double>(inst.alpha) /
+      (1.0 / (1.0 + eps) -
+       lambda * (static_cast<double>(inst.alpha) + 1.0));
+  Weight ws = 0;
+  double dominated_mass = 0.0;
+  for (NodeId v = 0; v < wg.num_nodes(); ++v) {
+    if (algo.in_partial_set()[v]) ws += wg.weight(v);
+    if (dominated[v]) dominated_mass += x[v];
+  }
+  EXPECT_LE(static_cast<double>(ws), factor * dominated_mass * (1 + 1e-6))
+      << inst.name;
+
+  // S's domination bookkeeping matches an independent recomputation.
+  const auto mask = dominated_mask(wg.graph(), algo.partial_set());
+  for (NodeId v = 0; v < wg.num_nodes(); ++v)
+    EXPECT_EQ(mask[v], dominated[v]) << inst.name << " node " << v;
+
+  // Round complexity: r <= log_{1+eps}(lambda*(Delta+1)) + 1 and the
+  // simulator used O(r) rounds.
+  const double delta = wg.graph().max_degree();
+  const double r_bound =
+      std::log(lambda * (delta + 1.0)) / std::log1p(eps) + 1.0;
+  EXPECT_LE(static_cast<double>(algo.iterations()), std::max(0.0, r_bound) + 1)
+      << inst.name;
+  EXPECT_LE(stats.rounds, 2 * algo.iterations() + 3) << inst.name;
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const std::size_t n = make_instances().size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (double eps : {0.1, 0.3, 0.7})
+      cases.push_back({i, eps});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartialDsProperty,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return "i" + std::to_string(info.param.instance) +
+                                  "_eps" +
+                                  std::to_string(static_cast<int>(
+                                      info.param.eps * 10));
+                         });
+
+// ------------------------------------------------------------ sanity cases
+
+TEST(PartialDs, RejectsBadParameters) {
+  EXPECT_THROW(PartialDominatingSet({1.5, 0.1, 1}), CheckError);
+  EXPECT_THROW(PartialDominatingSet({0.5, 0.0, 1}), CheckError);
+  EXPECT_THROW(PartialDominatingSet({0.5, 0.9, 1}), CheckError);  // >= limit
+}
+
+TEST(PartialDs, IterationFormulaMatchesPaperWindow) {
+  // (1+eps)^{r-1}/(Delta+1) <= lambda < (1+eps)^r/(Delta+1)
+  for (double eps : {0.1, 0.5}) {
+    for (NodeId delta : {1u, 10u, 1000u}) {
+      for (double lambda : {0.01, 0.1, 0.3}) {
+        const std::int64_t r = partial_ds_iterations(eps, lambda, delta);
+        if (lambda < 1.0 / (delta + 1.0)) {
+          EXPECT_EQ(r, 0);
+        } else {
+          EXPECT_GE(r, 1);
+          EXPECT_LE(std::pow(1 + eps, static_cast<double>(r - 1)) / (delta + 1),
+                    lambda * (1 + 1e-12));
+          EXPECT_GT(std::pow(1 + eps, static_cast<double>(r)) / (delta + 1),
+                    lambda * (1 - 1e-12));
+        }
+      }
+    }
+  }
+}
+
+TEST(PartialDs, EmptyGraph) {
+  auto wg = WeightedGraph::uniform(Graph(0));
+  Network net(wg);
+  PartialDominatingSet algo({0.5, 0.2, 1});
+  RunStats stats = net.run(algo, 100);
+  EXPECT_FALSE(stats.hit_round_limit);
+  EXPECT_TRUE(algo.partial_set().empty());
+}
+
+TEST(PartialDs, IsolatedNodesStayUndominatedWithSmallLambda) {
+  // lambda < 1/(Delta+1) = 1: zero iterations, S empty, everyone keeps
+  // x_v = tau_v and is "undominated" — property (b) trivially satisfied.
+  WeightedGraph wg(Graph(5), {3, 1, 4, 1, 5});
+  Network net(wg);
+  PartialDominatingSet algo({0.5, 0.2, 1});
+  net.run(algo, 100);
+  EXPECT_TRUE(algo.partial_set().empty());
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_FALSE(algo.dominated()[v]);
+    EXPECT_DOUBLE_EQ(algo.packing()[v], static_cast<double>(wg.weight(v)));
+  }
+}
+
+TEST(PartialDs, TauWitnessIsCorrect) {
+  WeightedGraph wg(gen::path(4), {9, 2, 7, 7});
+  Network net(wg);
+  PartialDominatingSet algo({0.5, 0.05, 1});
+  net.run(algo, 1000);
+  EXPECT_EQ(algo.tau(), (std::vector<Weight>{2, 2, 2, 7}));
+  EXPECT_EQ(algo.tau_witness()[0], 1u);
+  EXPECT_EQ(algo.tau_witness()[1], 1u);
+  EXPECT_EQ(algo.tau_witness()[2], 1u);
+  EXPECT_EQ(algo.tau_witness()[3], 2u);  // min weight 7, tie -> lower id
+}
+
+}  // namespace
+}  // namespace arbods

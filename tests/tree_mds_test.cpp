@@ -1,0 +1,103 @@
+// Tests for Observation A.1: the single-round 3-approximation on forests.
+#include <gtest/gtest.h>
+
+#include "baselines/tree_dp.hpp"
+#include "core/solvers.hpp"
+#include "gen/classic.hpp"
+#include "gen/trees.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods {
+namespace {
+
+double tree_ratio(const Graph& g) {
+  WeightedGraph wg = WeightedGraph::uniform(Graph(g));
+  MdsResult res = solve_mds_tree(wg);
+  res.validate(wg);
+  auto opt = baselines::tree_dominating_set(wg);
+  EXPECT_GE(opt.weight, 1);
+  return static_cast<double>(res.weight) / static_cast<double>(opt.weight);
+}
+
+class TreeRatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeRatioTest, RandomTreeWithin3) {
+  Rng rng(600 + GetParam());
+  Graph t = gen::random_tree_prufer(200 + 17 * GetParam(), rng);
+  EXPECT_LE(tree_ratio(t), 3.0 + 1e-12);
+}
+
+TEST_P(TreeRatioTest, RandomForestWithin3) {
+  Rng rng(700 + GetParam());
+  Graph f = gen::random_forest(150 + 11 * GetParam(), 5, rng);
+  EXPECT_LE(tree_ratio(f), 3.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, TreeRatioTest, ::testing::Range(0, 8));
+
+TEST(TreeMds, PathOfFive) {
+  // Internal nodes of P5 = {1,2,3}; OPT = {1,3} (size 2); ratio 1.5.
+  auto wg = WeightedGraph::uniform(gen::path(5));
+  MdsResult res = solve_mds_tree(wg);
+  EXPECT_EQ(res.dominating_set, (NodeSet{1, 2, 3}));
+}
+
+TEST(TreeMds, StarTakesOnlyHub) {
+  auto wg = WeightedGraph::uniform(gen::star(50));
+  MdsResult res = solve_mds_tree(wg);
+  EXPECT_EQ(res.dominating_set, NodeSet{0});
+}
+
+TEST(TreeMds, SingleNodeJoins) {
+  auto wg = WeightedGraph::uniform(Graph(1));
+  MdsResult res = solve_mds_tree(wg);
+  EXPECT_EQ(res.dominating_set, NodeSet{0});
+}
+
+TEST(TreeMds, IsolatedNodesAllJoin) {
+  auto wg = WeightedGraph::uniform(Graph(4));
+  MdsResult res = solve_mds_tree(wg);
+  EXPECT_EQ(res.dominating_set.size(), 4u);
+}
+
+TEST(TreeMds, K2LowerIdJoins) {
+  auto wg = WeightedGraph::uniform(gen::path(2));
+  MdsResult res = solve_mds_tree(wg);
+  EXPECT_EQ(res.dominating_set, NodeSet{0});
+}
+
+TEST(TreeMds, ManyK2Components) {
+  Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  auto wg = WeightedGraph::uniform(std::move(g));
+  MdsResult res = solve_mds_tree(wg);
+  res.validate(wg);
+  EXPECT_EQ(res.dominating_set, (NodeSet{0, 2, 4}));
+}
+
+TEST(TreeMds, CaterpillarInternalsOnly) {
+  // Caterpillar: spine of 4, 2 legs each. Internal nodes = spine.
+  auto wg = WeightedGraph::uniform(gen::caterpillar(4, 2));
+  MdsResult res = solve_mds_tree(wg);
+  res.validate(wg);
+  EXPECT_EQ(res.dominating_set, (NodeSet{0, 1, 2, 3}));
+}
+
+TEST(TreeMds, RunsInOneSimulatorRound) {
+  Rng rng(601);
+  auto wg = WeightedGraph::uniform(gen::random_tree_prufer(500, rng));
+  MdsResult res = solve_mds_tree(wg);
+  EXPECT_EQ(res.stats.rounds, 1);
+}
+
+TEST(TreeMds, WorstCaseRatioApproached) {
+  // Spider with legs of length 2: internal nodes = center + legs midpoints;
+  // OPT = midpoints only... ratio tends to (legs+1)/legs * ... sanity: <= 3.
+  auto wg = WeightedGraph::uniform(gen::spider(6, 2));
+  MdsResult res = solve_mds_tree(wg);
+  res.validate(wg);
+  auto opt = baselines::tree_dominating_set(wg);
+  EXPECT_LE(res.weight, 3 * opt.weight);
+}
+
+}  // namespace
+}  // namespace arbods
