@@ -1,6 +1,10 @@
-// Shared helpers for the experiment binaries (see DESIGN.md section 5 and
-// EXPERIMENTS.md). Each binary prints GitHub-flavoured markdown tables so
-// results can be pasted into EXPERIMENTS.md verbatim.
+// Shared helpers for the experiment binaries. Each binary prints
+// GitHub-flavoured markdown tables so results can be pasted into
+// EXPERIMENTS.md verbatim.
+//
+// Instances come from the shared harness corpus (src/harness/corpus.hpp)
+// and solvers are enumerated through the registry
+// (src/harness/registry.hpp) — no per-binary instance or solver lists.
 #pragma once
 
 #include <iostream>
@@ -16,37 +20,17 @@
 #include "gen/trees.hpp"
 #include "gen/weights.hpp"
 #include "graph/weighted_graph.hpp"
+#include "harness/corpus.hpp"
+#include "harness/registry.hpp"
 
 namespace arbods::bench {
 
-struct NamedInstance {
-  std::string name;
-  WeightedGraph wg;
-  NodeId alpha;  // orientability promise used by the algorithms
-};
+using NamedInstance = harness::CorpusInstance;
 
 /// The standard experiment families (kept small enough for laptop runs).
 inline std::vector<NamedInstance> standard_instances(bool weighted,
                                                      std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<NamedInstance> out;
-  auto weigh = [&](Graph g) {
-    if (!weighted) return WeightedGraph::uniform(std::move(g));
-    auto w = gen::uniform_weights(g.num_nodes(), 100, rng);
-    return WeightedGraph(std::move(g), std::move(w));
-  };
-  out.push_back({"tree_n4096", weigh(gen::random_tree_prufer(4096, rng)), 1});
-  out.push_back({"forest2_n4096", weigh(gen::k_tree_union(4096, 2, rng)), 2});
-  out.push_back({"forest5_n4096", weigh(gen::k_tree_union(4096, 5, rng)), 5});
-  out.push_back({"grid_64x64", weigh(gen::grid(64, 64)), 2});
-  out.push_back({"planar3tree_n4096",
-                 weigh(gen::planar_stacked_triangulation(4096, rng)), 3});
-  out.push_back({"outerplanar_n4096",
-                 weigh(gen::random_maximal_outerplanar(4096, rng)), 2});
-  out.push_back({"ba2_n4096", weigh(gen::barabasi_albert(4096, 2, rng)), 2});
-  out.push_back({"ba4_n4096", weigh(gen::barabasi_albert(4096, 4, rng)), 4});
-  out.push_back({"star_n4096", weigh(gen::star(4096)), 1});
-  return out;
+  return harness::standard_corpus(weighted, seed);
 }
 
 /// Best available lower bound on OPT: exact LP for small instances, else

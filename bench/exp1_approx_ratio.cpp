@@ -6,7 +6,6 @@
 // analytic bound (2a+1)(1+eps). Paper claim reproduced: every measured
 // ratio is below its analytic bound, typically far below.
 #include "bench_util.hpp"
-#include "core/solvers.hpp"
 
 using namespace arbods;
 
@@ -19,11 +18,14 @@ int main() {
     Table t({"instance", "alpha", "eps", "|DS| weight", "dual LB", "LP LB",
              "ratio(vs dual)", "ratio(vs LP)", "bound (2a+1)(1+eps)",
              "rounds"});
+    const harness::SolverInfo& solver =
+        harness::solver(weighted ? "det" : "unweighted");
     for (auto& inst : bench::standard_instances(weighted, 12345)) {
       for (double eps : {0.1, 0.5}) {
-        MdsResult res = weighted
-                            ? solve_mds_deterministic(inst.wg, inst.alpha, eps)
-                            : solve_mds_unweighted(inst.wg, inst.alpha, eps);
+        harness::SolverParams params;
+        params.alpha = inst.alpha;
+        params.eps = eps;
+        MdsResult res = solver.run(inst.wg, params, CongestConfig{});
         res.validate(inst.wg, 1e-5);
         // Exact LP bound only where the simplex is fast (small n).
         const bool has_lp = inst.wg.num_nodes() <= 600;
@@ -31,7 +33,7 @@ int main() {
                               ? bench::lp_or_packing_bound(
                                     inst.wg, res.packing_lower_bound)
                               : 0.0;
-        const double bound = (2.0 * inst.alpha + 1.0) * (1.0 + eps);
+        const double bound = solver.approx_bound(inst.wg, params);
         t.add_row({inst.name, Table::fmt_int(inst.alpha), Table::fmt(eps, 2),
                    Table::fmt_int(res.weight),
                    Table::fmt(res.packing_lower_bound, 1),

@@ -1,11 +1,13 @@
 // E6 — "improves on all previous results": ours vs the baselines on the
-// same instances. Columns report solution weight, ratio vs the best lower
-// bound, and CONGEST rounds (centralized baselines shown as "central").
+// same instances. Every registered solver that applies to the instance
+// runs via the harness registry; baselines follow. Columns report
+// solution weight, ratio vs the best lower bound, and CONGEST rounds
+// (centralized baselines shown as "central").
 #include "bench_util.hpp"
 #include "baselines/bansal_umboh.hpp"
 #include "baselines/distributed_greedy.hpp"
 #include "baselines/greedy.hpp"
-#include "core/solvers.hpp"
+#include "harness/oracle.hpp"
 
 using namespace arbods;
 
@@ -23,29 +25,24 @@ int main() {
   std::cout << "# E6 — comparison against prior algorithms\n\n";
   Rng rng(616);
 
-  struct Inst {
-    std::string name;
-    WeightedGraph wg;
-    NodeId alpha;
-    bool unweighted;
-  };
-  std::vector<Inst> insts;
+  std::vector<bench::NamedInstance> insts;
   insts.push_back({"forest3_n256_unw",
                    WeightedGraph::uniform(gen::k_tree_union(256, 3, rng)), 3,
-                   true});
+                   false, true});
   {
     Graph g = gen::k_tree_union(256, 3, rng);
     auto w = gen::uniform_weights(256, 100, rng);
     insts.push_back({"forest3_n256_w", WeightedGraph(std::move(g), std::move(w)),
-                     3, false});
+                     3, false, false});
   }
   insts.push_back({"planar_n256_unw",
                    WeightedGraph::uniform(
                        gen::planar_stacked_triangulation(256, rng)),
-                   3, true});
+                   3, false, true});
   insts.push_back(
       {"ba2_n256_unw",
-       WeightedGraph::uniform(gen::barabasi_albert(256, 2, rng)), 2, true});
+       WeightedGraph::uniform(gen::barabasi_albert(256, 2, rng)), 2, false,
+       true});
 
   for (auto& inst : insts) {
     const double lp = baselines::solve_fractional_mds(inst.wg).objective;
@@ -53,15 +50,21 @@ int main() {
               << ", LP bound = " << Table::fmt(lp, 1) << ")\n";
     std::vector<Row> rows;
 
-    MdsResult ours = solve_mds_deterministic(inst.wg, inst.alpha, 0.2);
-    ours.validate(inst.wg, 1e-5);
-    rows.push_back({"ours Thm1.1 (eps=.2)", double(ours.weight),
-                    std::to_string(ours.stats.rounds)});
-
-    MdsResult rnd = solve_mds_randomized(inst.wg, inst.alpha, 4);
-    rnd.validate(inst.wg, 1e-5);
-    rows.push_back({"ours Thm1.2 (t=4)", double(rnd.weight),
-                    std::to_string(rnd.stats.rounds)});
+    // Ours: everything in the registry that applies to this instance
+    // (cardinality-only solvers are skipped on weighted instances — their
+    // weight column would not be a weighted-MDS result).
+    for (const auto& info : harness::all_solvers()) {
+      if (!harness::solver_applicable(info, inst)) continue;
+      if (info.bound_needs_unit_weights && !inst.unit_weights) continue;
+      harness::SolverParams params = harness::params_for(info, inst);
+      params.eps = 0.2;  // historical E6 configuration
+      params.t = 4;
+      MdsResult res = harness::run_solver(info.name, inst.wg, params);
+      res.validate(inst.wg, 1e-5);
+      rows.push_back({"ours " + std::string(info.theorem) + " (" +
+                          std::string(info.name) + ")",
+                      double(res.weight), std::to_string(res.stats.rounds)});
+    }
 
     {
       Network net(inst.wg);
@@ -86,7 +89,7 @@ int main() {
       rows.push_back({"Johnson greedy", double(inst.wg.total_weight(set)),
                       "central"});
     }
-    if (inst.unweighted) {
+    if (inst.unit_weights) {
       auto bu = baselines::bansal_umboh_dominating_set(inst.wg.graph(),
                                                        inst.alpha);
       rows.push_back({"Bansal-Umboh LP round",

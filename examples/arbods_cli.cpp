@@ -3,8 +3,9 @@
 //
 //   arbods_cli <algorithm> (--file PATH | --gen FAMILY --n N) [options]
 //
-// algorithms: det | unweighted | randomized | general | unknown-delta |
-//             unknown-alpha | tree | greedy
+// Algorithms are resolved through the solver registry
+// (src/harness/registry.hpp) — `arbods_cli list` prints the table —
+// plus the centralized "greedy" baseline.
 // options:    --alpha A (default: measured pseudoarboricity)
 //             --eps E (default 0.25)   --t T (default 2)   --k K (default 2)
 //             --weights unit|uniform|powerlaw|degree|invdegree (default unit)
@@ -16,27 +17,37 @@
 
 #include "arboricity/pseudoarboricity.hpp"
 #include "baselines/greedy.hpp"
-#include "core/solvers.hpp"
+#include "common/check.hpp"
 #include "gen/arboricity_families.hpp"
 #include "gen/classic.hpp"
 #include "gen/random_graphs.hpp"
 #include "gen/trees.hpp"
 #include "gen/weights.hpp"
 #include "graph/io.hpp"
+#include "harness/registry.hpp"
 
 using namespace arbods;
 
 namespace {
 
+void print_solver_table(std::ostream& os) {
+  os << "registered solvers:\n";
+  for (const auto& info : harness::all_solvers()) {
+    os << "  " << info.name;
+    for (std::size_t pad = info.name.size(); pad < 14; ++pad) os << ' ';
+    os << info.theorem << " — " << info.guarantee << "\n";
+  }
+  os << "  greedy        centralized Johnson greedy baseline\n";
+}
+
 [[noreturn]] void usage() {
-  std::cerr
-      << "usage: arbods_cli <det|unweighted|randomized|general|unknown-delta|"
-         "unknown-alpha|tree|greedy>\n"
-         "                  (--file PATH | --gen tree|forest2|forest5|grid|"
-         "planar|ba2|ba4|er --n N)\n"
-         "                  [--alpha A] [--eps E] [--t T] [--k K]\n"
-         "                  [--weights unit|uniform|powerlaw|degree|invdegree]"
-         " [--seed S]\n";
+  std::cerr << "usage: arbods_cli <algorithm|list>\n"
+               "                  (--file PATH | --gen tree|forest2|forest5|"
+               "grid|planar|ba2|ba4|er --n N)\n"
+               "                  [--alpha A] [--eps E] [--t T] [--k K]\n"
+               "                  [--weights unit|uniform|powerlaw|degree|"
+               "invdegree] [--seed S]\n";
+  print_solver_table(std::cerr);
   std::exit(2);
 }
 
@@ -62,11 +73,19 @@ Graph make_graph(const std::string& family, NodeId n, Rng& rng) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string algo = argv[1];
+  if (algo == "list") {
+    print_solver_table(std::cout);
+    return 0;
+  }
+  if (algo != "greedy" && harness::find_solver(algo) == nullptr) {
+    std::cerr << "unknown algorithm '" << algo << "'\n";
+    usage();
+  }
+
   std::string file, family, weights = "unit";
-  NodeId n = 1000, alpha = 0;
-  double eps = 0.25;
-  std::int64_t t = 2;
-  int k = 2;
+  NodeId n = 1000;
+  harness::SolverParams params;
+  params.alpha = 0;  // 0 = measure below
   std::uint64_t seed = 1;
   for (int i = 2; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
@@ -79,10 +98,10 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--file")) file = need("--file");
     else if (!std::strcmp(argv[i], "--gen")) family = need("--gen");
     else if (!std::strcmp(argv[i], "--n")) n = static_cast<NodeId>(std::stoul(need("--n")));
-    else if (!std::strcmp(argv[i], "--alpha")) alpha = static_cast<NodeId>(std::stoul(need("--alpha")));
-    else if (!std::strcmp(argv[i], "--eps")) eps = std::stod(need("--eps"));
-    else if (!std::strcmp(argv[i], "--t")) t = std::stoll(need("--t"));
-    else if (!std::strcmp(argv[i], "--k")) k = std::stoi(need("--k"));
+    else if (!std::strcmp(argv[i], "--alpha")) params.alpha = static_cast<NodeId>(std::stoul(need("--alpha")));
+    else if (!std::strcmp(argv[i], "--eps")) params.eps = std::stod(need("--eps"));
+    else if (!std::strcmp(argv[i], "--t")) params.t = std::stoll(need("--t"));
+    else if (!std::strcmp(argv[i], "--k")) params.k = std::stoi(need("--k"));
     else if (!std::strcmp(argv[i], "--weights")) weights = need("--weights");
     else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
     else usage();
@@ -92,33 +111,35 @@ int main(int argc, char** argv) {
   Graph g = !file.empty() ? load_graph(file) : make_graph(family, n, rng);
   std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges()
             << " Delta=" << g.max_degree() << "\n";
-  if (alpha == 0) {
-    alpha = std::max<NodeId>(1, pseudoarboricity(g));
-    std::cout << "alpha (measured pseudoarboricity): " << alpha << "\n";
+  if (params.alpha == 0) {
+    params.alpha = std::max<NodeId>(1, pseudoarboricity(g));
+    std::cout << "alpha (measured pseudoarboricity): " << params.alpha
+              << "\n";
   }
   WeightedGraph wg = gen::with_weights(std::move(g), weights, rng);
 
-  CongestConfig cfg;
-  cfg.seed = seed;
-  MdsResult res;
-  if (algo == "det") res = solve_mds_deterministic(wg, alpha, eps, cfg);
-  else if (algo == "unweighted") res = solve_mds_unweighted(wg, alpha, eps, cfg);
-  else if (algo == "randomized") res = solve_mds_randomized(wg, alpha, t, cfg);
-  else if (algo == "general") res = solve_mds_general(wg, k, cfg);
-  else if (algo == "unknown-delta") res = solve_mds_unknown_delta(wg, alpha, eps, cfg);
-  else if (algo == "unknown-alpha") res = solve_mds_unknown_alpha(wg, eps, cfg);
-  else if (algo == "tree") res = solve_mds_tree(wg, cfg);
-  else if (algo == "greedy") {
+  if (algo == "greedy") {
     auto set = baselines::greedy_dominating_set(wg);
     std::cout << "set size: " << set.size()
               << "\nweight:   " << wg.total_weight(set) << " (centralized)\n";
     return 0;
-  } else {
-    usage();
+  }
+
+  CongestConfig cfg;
+  cfg.seed = seed;
+  const harness::SolverInfo& info = harness::solver(algo);
+  MdsResult res;
+  try {
+    res = harness::run_solver(algo, wg, params, cfg);
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
 
   res.validate(wg, 1e-5);
-  std::cout << "set size:        " << res.dominating_set.size() << "\n"
+  std::cout << "solver:          " << info.name << " (" << info.theorem
+            << ", " << info.guarantee << ")\n"
+            << "set size:        " << res.dominating_set.size() << "\n"
             << "weight:          " << res.weight << "\n"
             << "dual lower bnd:  " << res.packing_lower_bound << "\n";
   if (res.packing_lower_bound > 0)

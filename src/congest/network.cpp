@@ -7,6 +7,13 @@
 
 namespace arbods {
 
+int congest_message_cap(const CongestConfig& config, NodeId n) {
+  if (config.max_message_bits_override > 0)
+    return config.max_message_bits_override;
+  return std::max(
+      64, config.log_factor * ceil_log2(static_cast<std::uint64_t>(n) + 1));
+}
+
 Network::Network(const WeightedGraph& wg, CongestConfig config)
     : wg_(&wg), config_(config) {
   const NodeId n = wg.num_nodes();
@@ -16,12 +23,7 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
   size_model_.level_bits =
       std::min(31, 2 * (bit_width_for(n + 1) + size_model_.weight_bits));
   size_model_.real_bits = default_value_codec().bit_width();
-  if (config_.max_message_bits_override > 0) {
-    max_message_bits_ = config_.max_message_bits_override;
-  } else {
-    max_message_bits_ =
-        std::max(64, config_.log_factor * ceil_log2(static_cast<std::uint64_t>(n) + 1));
-  }
+  max_message_bits_ = congest_message_cap(config_, n);
   inboxes_.resize(n);
   outboxes_.resize(n);
   node_rngs_.reserve(n);

@@ -42,6 +42,11 @@ struct CongestConfig {
   std::uint64_t seed = 0xa5a5a5a5ULL;
 };
 
+/// The per-message bit cap a Network with this config enforces on an
+/// n-node instance. Shared with tests/oracles so they assert the exact
+/// number the simulator uses.
+int congest_message_cap(const CongestConfig& config, NodeId n);
+
 struct RunStats {
   std::int64_t rounds = 0;            // process_round invocations
   std::int64_t messages = 0;          // per-edge message deliveries

@@ -1,0 +1,86 @@
+#include "harness/corpus.hpp"
+
+#include <utility>
+
+#include "common/random.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+#include "graph/stats.hpp"
+
+namespace arbods::harness {
+
+namespace {
+
+CorpusInstance make(std::string name, Graph g, NodeId alpha,
+                    const std::string& profile, Rng& rng) {
+  const bool forest = is_forest(g);
+  const bool unit = profile == "unit";
+  WeightedGraph wg = gen::with_weights(std::move(g), profile, rng,
+                                       /*max_weight=*/16);
+  return {std::move(name), std::move(wg), alpha, forest, unit};
+}
+
+}  // namespace
+
+std::vector<CorpusInstance> small_corpus(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CorpusInstance> out;
+  // Forests (alpha = 1): classic shapes plus random trees.
+  out.push_back(make("path12_unit", gen::path(12), 1, "unit", rng));
+  out.push_back(make("star16_unit", gen::star(16), 1, "unit", rng));
+  out.push_back(make("star16_degree", gen::star(16), 1, "degree", rng));
+  out.push_back(make("tree24_unit", gen::random_tree_prufer(24, rng), 1,
+                     "unit", rng));
+  out.push_back(make("tree24_uniform", gen::random_tree_prufer(24, rng), 1,
+                     "uniform", rng));
+  out.push_back(make("forest20x3_unit", gen::random_forest(20, 3, rng), 1,
+                     "unit", rng));
+  out.push_back(make("caterpillar_unit", gen::caterpillar(6, 3), 1,
+                     "unit", rng));
+  // Arboricity 2: cycles, grids, outerplanar, 2-tree unions.
+  out.push_back(make("cycle15_unit", gen::cycle(15), 2, "unit", rng));
+  out.push_back(make("grid5x5_uniform", gen::grid(5, 5), 2, "uniform", rng));
+  out.push_back(make("outerplanar24_unit",
+                     gen::random_maximal_outerplanar(24, rng), 2, "unit",
+                     rng));
+  out.push_back(make("forest2x30_uniform", gen::k_tree_union(30, 2, rng), 2,
+                     "uniform", rng));
+  out.push_back(make("book8_degree", gen::book(8), 2, "degree", rng));
+  // Arboricity 3: planar stacked triangulations, BA graphs.
+  out.push_back(make("planar24_unit",
+                     gen::planar_stacked_triangulation(24, rng), 3, "unit",
+                     rng));
+  out.push_back(make("ba3_30_uniform", gen::barabasi_albert(30, 3, rng), 3,
+                     "uniform", rng));
+  return out;
+}
+
+std::vector<CorpusInstance> standard_corpus(bool weighted,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CorpusInstance> out;
+  auto add = [&](std::string name, Graph g, NodeId alpha) {
+    const bool forest = is_forest(g);
+    const NodeId n = g.num_nodes();
+    WeightedGraph wg =
+        weighted ? WeightedGraph(std::move(g), gen::uniform_weights(n, 100, rng))
+                 : WeightedGraph::uniform(std::move(g));
+    out.push_back(
+        {std::move(name), std::move(wg), alpha, forest, !weighted});
+  };
+  add("tree_n4096", gen::random_tree_prufer(4096, rng), 1);
+  add("forest2_n4096", gen::k_tree_union(4096, 2, rng), 2);
+  add("forest5_n4096", gen::k_tree_union(4096, 5, rng), 5);
+  add("grid_64x64", gen::grid(64, 64), 2);
+  add("planar3tree_n4096", gen::planar_stacked_triangulation(4096, rng), 3);
+  add("outerplanar_n4096", gen::random_maximal_outerplanar(4096, rng), 2);
+  add("ba2_n4096", gen::barabasi_albert(4096, 2, rng), 2);
+  add("ba4_n4096", gen::barabasi_albert(4096, 4, rng), 4);
+  add("star_n4096", gen::star(4096), 1);
+  return out;
+}
+
+}  // namespace arbods::harness

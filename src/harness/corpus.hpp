@@ -1,0 +1,33 @@
+// Canonical instance corpora shared by tests and benches.
+//
+// `small_corpus` crosses the gen/ families with the weight profiles at
+// sizes where baselines/exact.hpp can certify OPT (n <= 40), so oracle
+// checks can compare every solver against the true optimum.
+// `standard_corpus` is the bench-scale family set (formerly duplicated in
+// bench/bench_util.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::harness {
+
+struct CorpusInstance {
+  std::string name;
+  WeightedGraph wg;
+  NodeId alpha;            // arboricity promise handed to the solvers
+  bool forest = false;     // wg.graph() is a forest
+  bool unit_weights = false;
+};
+
+/// Deterministic small instances (n <= 40): generator families x weight
+/// profiles (unit / uniform / degree-proportional).
+std::vector<CorpusInstance> small_corpus(std::uint64_t seed);
+
+/// The standard laptop-scale experiment families (n ~ 4096).
+std::vector<CorpusInstance> standard_corpus(bool weighted, std::uint64_t seed);
+
+}  // namespace arbods::harness

@@ -1,0 +1,110 @@
+#include "harness/oracle.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "baselines/exact.hpp"
+#include "graph/verify.hpp"
+
+namespace arbods::harness {
+
+namespace {
+
+std::string describe(const char* what, double got, double limit) {
+  std::ostringstream os;
+  os << what << " (got " << got << ", limit " << limit << ")";
+  return os.str();
+}
+
+}  // namespace
+
+bool solver_applicable(const SolverInfo& info, const CorpusInstance& inst) {
+  if (info.forests_only && !inst.forest) return false;
+  return true;
+}
+
+SolverParams params_for(const SolverInfo& info, const CorpusInstance& inst) {
+  SolverParams p;
+  if (info.schema.alpha) p.alpha = inst.alpha;
+  return p;
+}
+
+OracleReport check_solver_result(const SolverInfo& info,
+                                 const SolverParams& params,
+                                 const CorpusInstance& inst,
+                                 const MdsResult& res,
+                                 const OracleOptions& opts) {
+  OracleReport rep;
+  auto fail = [&](std::string why) {
+    rep.ok = false;
+    rep.failure = std::move(why);
+    return rep;
+  };
+
+  const Graph& g = inst.wg.graph();
+
+  // 1. The set is well-formed and dominating.
+  if (!is_valid_node_set(g, res.dominating_set))
+    return fail("result set has duplicates or out-of-range ids");
+  if (!is_dominating_set(g, res.dominating_set)) {
+    std::ostringstream os;
+    os << undominated_nodes(g, res.dominating_set).size()
+       << " nodes undominated";
+    return fail(os.str());
+  }
+
+  // 2. The recorded weight matches the set.
+  if (inst.wg.total_weight(res.dominating_set) != res.weight)
+    return fail("recorded weight does not match the set");
+
+  // 3. The dual certificate is feasible and its sum matches.
+  if (!res.packing.empty()) {
+    if (!is_feasible_packing(inst.wg, res.packing, opts.packing_tol))
+      return fail("packing certificate infeasible");
+    const double sum =
+        std::accumulate(res.packing.begin(), res.packing.end(), 0.0);
+    if (std::abs(sum - res.packing_lower_bound) >
+        1e-6 * std::max(1.0, std::abs(sum)))
+      return fail("packing_lower_bound does not match the packing sum");
+  }
+
+  // 4. CONGEST accounting: the simulator enforced the cap; re-assert it
+  // here so a stats-reporting bug cannot mask a violation.
+  const int cap = congest_message_cap(opts.config, inst.wg.num_nodes());
+  if (res.stats.max_message_bits > cap)
+    return fail(describe("message width over CONGEST cap",
+                         res.stats.max_message_bits, cap));
+  if (res.stats.messages > 0 && res.stats.max_message_bits <= 0)
+    return fail("messages sent but max_message_bits not accounted");
+  if (res.stats.total_bits <
+      static_cast<std::int64_t>(res.stats.messages))
+    return fail("total_bits below one bit per message");
+  if (res.stats.hit_round_limit) return fail("round budget exhausted");
+  if (res.used_fallback) return fail("defensive fallback path ran");
+
+  // 5. Cost against the exact optimum (small instances only).
+  if (opts.check_approx_bound && inst.wg.num_nodes() <= opts.exact_limit) {
+    auto exact = baselines::exact_dominating_set(inst.wg);
+    if (!exact.has_value()) return fail("exact solver exhausted its budget");
+    rep.opt = static_cast<double>(exact->weight);
+    rep.ratio = rep.opt > 0 ? static_cast<double>(res.weight) / rep.opt : 1.0;
+    // The dual lower bound must not exceed OPT.
+    if (res.packing_lower_bound > rep.opt * (1.0 + 1e-6))
+      return fail(describe("packing lower bound exceeds OPT",
+                           res.packing_lower_bound, rep.opt));
+    const bool bound_applies =
+        solver_applicable(info, inst) &&
+        (!info.bound_needs_unit_weights || inst.unit_weights);
+    if (bound_applies) {
+      const double bound = info.approx_bound(inst.wg, params);
+      if (static_cast<double>(res.weight) > bound * rep.opt * (1.0 + 1e-9))
+        return fail(describe("weight over approx bound x OPT",
+                             static_cast<double>(res.weight),
+                             bound * rep.opt));
+    }
+  }
+  return rep;
+}
+
+}  // namespace arbods::harness

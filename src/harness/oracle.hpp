@@ -1,0 +1,48 @@
+// Oracle checks for solver results on corpus instances: domination
+// validity (via graph/verify.hpp), weight/packing certificate
+// consistency, CONGEST round/message accounting against the enforced
+// cap, and — on instances small enough for baselines/exact.hpp — cost
+// against the solver's analytic approximation bound times the true OPT.
+#pragma once
+
+#include <string>
+
+#include "congest/network.hpp"
+#include "core/mds_result.hpp"
+#include "harness/corpus.hpp"
+#include "harness/registry.hpp"
+
+namespace arbods::harness {
+
+struct OracleOptions {
+  double packing_tol = 1e-5;     // feasibility slack for quantized duals
+  NodeId exact_limit = 40;       // compute exact OPT up to this many nodes
+  bool check_approx_bound = true;
+  /// Config the solver ran under (for the message-cap assertion).
+  CongestConfig config = {};
+};
+
+struct OracleReport {
+  bool ok = true;
+  std::string failure;  // first failed check, human-readable; empty if ok
+  double opt = -1.0;    // exact OPT weight when computed, else -1
+  double ratio = -1.0;  // res.weight / opt when opt computed, else -1
+};
+
+/// Runs every applicable check; stops at the first failure.
+OracleReport check_solver_result(const SolverInfo& info,
+                                 const SolverParams& params,
+                                 const CorpusInstance& inst,
+                                 const MdsResult& res,
+                                 const OracleOptions& opts = {});
+
+/// True iff the solver can run on this instance (forest requirement).
+/// Unit-weight-only *guarantees* still run on weighted instances; gate on
+/// info.bound_needs_unit_weights when comparing weighted quality.
+bool solver_applicable(const SolverInfo& info, const CorpusInstance& inst);
+
+/// Suggested params for running `info` on `inst` (alpha from the
+/// instance's promise; defaults elsewhere).
+SolverParams params_for(const SolverInfo& info, const CorpusInstance& inst);
+
+}  // namespace arbods::harness

@@ -1,0 +1,76 @@
+// Solver registry: stable string names for every one-call driver in
+// core/solvers.hpp, with parameter schemas and analytic approximation
+// bounds. Tests, benches, and the CLI enumerate solvers through this
+// table instead of hand-rolled per-file lists, so adding a solver is a
+// one-line registration and every harness picks it up.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "core/mds_result.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace arbods::harness {
+
+/// The union of every driver's tunables; each solver reads only the
+/// fields its schema declares (see SolverInfo::schema).
+struct SolverParams {
+  NodeId alpha = 1;      // arboricity / out-degree promise (>= 1)
+  double eps = 0.25;     // slack, in (0, 1)
+  std::int64_t t = 2;    // Theorem 1.2 round/quality trade-off (>= 1)
+  int k = 2;             // Theorem 1.3 round/quality trade-off (>= 1)
+};
+
+/// Which SolverParams fields a solver consumes.
+struct ParamSchema {
+  bool alpha = false;
+  bool eps = false;
+  bool t = false;
+  bool k = false;
+};
+
+struct SolverInfo {
+  std::string_view name;       // stable registry key, e.g. "det"
+  std::string_view theorem;    // paper reference, e.g. "Theorem 1.1"
+  std::string_view guarantee;  // human-readable approximation guarantee
+  ParamSchema schema;
+  bool randomized = false;          // uses per-node randomness
+  bool forests_only = false;        // defined only on forests
+  bool bound_needs_unit_weights = false;  // guarantee stated for w == 1
+
+  /// Throws CheckError when the fields the schema declares are out of
+  /// range (other fields are ignored).
+  void (*check_params)(const SolverParams&);
+
+  /// Analytic approximation factor for this instance/parameter choice.
+  /// For randomized solvers this is the expectation-level bound inflated
+  /// by a fixed slack so fixed-seed regression runs stay under it.
+  double (*approx_bound)(const WeightedGraph&, const SolverParams&);
+
+  /// Runs the driver (validating params first).
+  MdsResult (*run)(const WeightedGraph&, const SolverParams&,
+                   const CongestConfig&);
+};
+
+/// All registered solvers, in theorem order.
+std::span<const SolverInfo> all_solvers();
+
+/// Registered names, in theorem order.
+std::vector<std::string_view> solver_names();
+
+/// Lookup; nullptr when unknown.
+const SolverInfo* find_solver(std::string_view name);
+
+/// Lookup; throws CheckError naming the known solvers when unknown.
+const SolverInfo& solver(std::string_view name);
+
+/// Convenience: look up, validate params, run.
+MdsResult run_solver(std::string_view name, const WeightedGraph& wg,
+                     const SolverParams& params = {},
+                     const CongestConfig& config = {});
+
+}  // namespace arbods::harness

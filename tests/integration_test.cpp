@@ -18,6 +18,7 @@
 #include "gen/weights.hpp"
 #include "graph/transform.hpp"
 #include "graph/verify.hpp"
+#include "harness/registry.hpp"
 
 namespace arbods {
 namespace {
@@ -30,12 +31,13 @@ TEST(Integration, EverySolverProducesAValidSetOnTheSameGraph) {
   auto w = gen::uniform_weights(120, 16, rng);
   WeightedGraph wg(std::move(g0), std::move(w));
 
-  solve_mds_deterministic(wg, 2, 0.3).validate(wg, 1e-5);
-  solve_mds_unweighted(wg, 2, 0.3).validate(wg, 1e-5);
-  solve_mds_randomized(wg, 2, 2).validate(wg, 1e-5);
-  solve_mds_general(wg, 2).validate(wg, 1e-5);
-  solve_mds_unknown_delta(wg, 2, 0.3).validate(wg, 1e-5);
-  solve_mds_unknown_alpha(wg, 0.3).validate(wg, 1e-5);
+  harness::SolverParams params;
+  params.alpha = 2;
+  params.eps = 0.3;
+  for (const auto& info : harness::all_solvers()) {
+    if (info.forests_only) continue;  // k_tree_union(·, 2, ·) has cycles
+    harness::run_solver(info.name, wg, params).validate(wg, 1e-5);
+  }
 
   Network net1(wg);
   baselines::ThresholdGreedyMds tg;
@@ -52,24 +54,27 @@ TEST(Integration, EverySolverProducesAValidSetOnTheSameGraph) {
 
 TEST(Integration, AllDistributedAlgorithmsRespectMessageCap) {
   // The cap is enforced by the Network (throws on violation), so a clean
-  // run *is* the proof; additionally assert the observed width.
+  // run *is* the proof; additionally assert the observed width against
+  // the shared cap helper the Network itself uses.
   Rng rng(1001);
   Graph g = gen::barabasi_albert(400, 3, rng);
   auto w = gen::uniform_weights(400, 1000, rng);
   WeightedGraph wg(std::move(g), std::move(w));
+  WeightedGraph forest =
+      WeightedGraph::uniform(gen::random_tree_prufer(100, rng));
   CongestConfig cfg;  // enforcement on by default
 
-  auto check = [&](const MdsResult& res) {
-    EXPECT_GT(res.stats.max_message_bits, 0);
+  harness::SolverParams params;
+  params.alpha = 3;
+  params.eps = 0.3;
+  for (const auto& info : harness::all_solvers()) {
+    const WeightedGraph& instance = info.forests_only ? forest : wg;
+    const MdsResult res = harness::run_solver(info.name, instance, params, cfg);
+    EXPECT_GT(res.stats.max_message_bits, 0) << info.name;
     EXPECT_LE(res.stats.max_message_bits,
-              std::max(64, 4 * static_cast<int>(std::ceil(std::log2(401)))));
-  };
-  check(solve_mds_deterministic(wg, 3, 0.3, cfg));
-  check(solve_mds_randomized(wg, 3, 2, cfg));
-  check(solve_mds_general(wg, 2, cfg));
-  check(solve_mds_unknown_delta(wg, 3, 0.3, cfg));
-  check(solve_mds_unknown_alpha(wg, 0.3, cfg));
-  check(solve_mds_tree(WeightedGraph::uniform(gen::random_tree_prufer(100, rng)), cfg));
+              congest_message_cap(cfg, instance.num_nodes()))
+        << info.name;
+  }
 }
 
 TEST(Integration, QuantizationOffMatchesGuaranteeToo) {

@@ -1,0 +1,108 @@
+// Property-style randomized sweep: for seeded random graphs with
+// n <= 40, every registered solver must return a valid dominating set
+// whose cost stays within its theorem's approximation bound times the
+// exact optimum (computed by baselines/exact.hpp).
+#include <gtest/gtest.h>
+
+#include "baselines/exact.hpp"
+#include "gen/arboricity_families.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "gen/weights.hpp"
+#include "graph/stats.hpp"
+#include "graph/verify.hpp"
+#include "harness/oracle.hpp"
+#include "harness/registry.hpp"
+
+namespace arbods::harness {
+namespace {
+
+struct RandomInstance {
+  std::string name;
+  WeightedGraph wg;
+  NodeId alpha;
+  bool forest;
+  bool unit_weights;
+};
+
+RandomInstance random_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = static_cast<NodeId>(rng.next_int(8, 40));
+  const int family = static_cast<int>(rng.next_int(0, 3));
+  Graph g(0);
+  NodeId alpha = 1;
+  switch (family) {
+    case 0:
+      g = gen::random_tree_prufer(n, rng);
+      alpha = 1;
+      break;
+    case 1: {
+      const NodeId k = static_cast<NodeId>(rng.next_int(2, 4));
+      g = gen::k_tree_union(n, k, rng);
+      alpha = k;
+      break;
+    }
+    case 2:
+      g = gen::random_forest(n, static_cast<NodeId>(rng.next_int(1, 3)), rng);
+      alpha = 1;
+      break;
+    default:
+      g = gen::barabasi_albert(n, 2, rng);
+      alpha = 2;
+      break;
+  }
+  const bool forest = is_forest(g);
+  const bool unit = rng.next_int(0, 1) == 0;
+  WeightedGraph wg =
+      unit ? WeightedGraph::uniform(std::move(g))
+           : WeightedGraph(std::move(g), gen::uniform_weights(n, 8, rng));
+  return {"seed" + std::to_string(seed), std::move(wg), alpha, forest, unit};
+}
+
+TEST(Property, AllSolversValidAndWithinBoundOnRandomSmallGraphs) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const RandomInstance ri = random_instance(seed);
+    auto exact = baselines::exact_dominating_set(ri.wg);
+    ASSERT_TRUE(exact.has_value()) << ri.name;
+    const double opt = static_cast<double>(exact->weight);
+
+    for (const SolverInfo& info : all_solvers()) {
+      if (info.forests_only && !ri.forest) continue;
+      SolverParams params;
+      if (info.schema.alpha) params.alpha = ri.alpha;
+      CongestConfig cfg;
+      cfg.seed = 0xfeed0000ULL + seed;
+      const MdsResult res = run_solver(info.name, ri.wg, params, cfg);
+
+      EXPECT_TRUE(is_valid_node_set(ri.wg.graph(), res.dominating_set))
+          << info.name << " on " << ri.name;
+      EXPECT_TRUE(is_dominating_set(ri.wg.graph(), res.dominating_set))
+          << info.name << " on " << ri.name;
+      if (info.bound_needs_unit_weights && !ri.unit_weights) continue;
+      const double bound = info.approx_bound(ri.wg, params);
+      EXPECT_LE(static_cast<double>(res.weight), bound * opt * (1 + 1e-9))
+          << info.name << " on " << ri.name << " (n=" << ri.wg.num_nodes()
+          << ", alpha=" << ri.alpha << ", OPT=" << opt << ")";
+    }
+  }
+}
+
+TEST(Property, PackingLowerBoundNeverExceedsOpt) {
+  for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+    const RandomInstance ri = random_instance(seed);
+    auto exact = baselines::exact_dominating_set(ri.wg);
+    ASSERT_TRUE(exact.has_value());
+    for (std::string_view name : {"det", "randomized", "unknown-alpha"}) {
+      const SolverInfo& info = solver(name);
+      SolverParams params;
+      if (info.schema.alpha) params.alpha = ri.alpha;
+      const MdsResult res = run_solver(name, ri.wg, params);
+      EXPECT_LE(res.packing_lower_bound,
+                static_cast<double>(exact->weight) * (1 + 1e-6))
+          << name << " on " << ri.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arbods::harness
