@@ -1,0 +1,147 @@
+// Experiment 12: simulator scaling — instance size x worker-pool width.
+//
+// Sweeps the scaling corpus tier (src/harness/corpus.hpp) against a list
+// of thread counts for one or more registry solvers and reports one JSON
+// object per run on stdout (a JSON array), ready for plotting or CI
+// artifact upload:
+//
+//   exp12_scaling [--sizes 10000,50000,100000] [--threads 1,2,4,8]
+//                 [--solvers greedy-threshold] [--families tree,forest2,...]
+//                 [--seed S] [--smoke]
+//
+// Every (instance, solver) cell is run once per thread count on the SAME
+// cached instance; the simulator guarantees bit-identical MdsResults for
+// every width, which this binary re-checks (`identical` field) so a sweep
+// doubles as an end-to-end determinism audit at scale. `--smoke` is the
+// CI preset: one small instance, widths 1 and 4.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "harness/corpus.hpp"
+#include "harness/oracle.hpp"
+#include "harness/registry.hpp"
+
+using namespace arbods;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+std::vector<int> split_ints(const std::string& csv) {
+  std::vector<int> out;
+  for (const std::string& s : split_list(csv)) out.push_back(std::stoi(s));
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: exp12_scaling [--sizes N1,N2,...] [--threads "
+               "W1,W2,...]\n"
+               "                     [--solvers name1,name2,...] [--families "
+               "f1,f2,...]\n"
+               "                     [--seed S] [--smoke]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes = {10'000, 50'000, 100'000};
+  std::vector<int> threads = {1, 2, 4, 8};
+  std::vector<std::string> solvers = {"greedy-threshold"};
+  std::vector<std::string> families = {"tree", "forest2", "ba3"};
+  std::uint64_t seed = 12345;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << what << "\n";
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--sizes")) sizes = split_ints(need("--sizes"));
+    else if (!std::strcmp(argv[i], "--threads")) threads = split_ints(need("--threads"));
+    else if (!std::strcmp(argv[i], "--solvers")) solvers = split_list(need("--solvers"));
+    else if (!std::strcmp(argv[i], "--families")) families = split_list(need("--families"));
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
+    else if (!std::strcmp(argv[i], "--smoke")) {
+      sizes = {10'000};
+      threads = {1, 4};
+      families = {"forest2"};
+    } else usage();
+  }
+
+  const auto corpus = harness::scaling_corpus();
+  std::cout << "[\n";
+  bool first_row = true;
+  for (const auto& spec : corpus) {
+    bool size_selected = false;
+    for (int n : sizes) size_selected |= spec.n == static_cast<NodeId>(n);
+    bool family_selected = false;
+    for (const auto& f : families) family_selected |= f == spec.family;
+    if (!size_selected || !family_selected) continue;
+
+    const harness::CorpusInstance& inst =
+        harness::scaling_instance(spec, seed);
+    for (const std::string& solver_name : solvers) {
+      const harness::SolverInfo& info = harness::solver(solver_name);
+      harness::SolverParams params = harness::params_for(info, inst);
+
+      MdsResult reference;
+      bool have_reference = false;
+      for (const int w : threads) {
+        params.threads = w;
+        CongestConfig cfg;
+        cfg.seed = seed;
+        Stopwatch timer;
+        const MdsResult res =
+            harness::run_solver(solver_name, inst.wg, params, cfg);
+        const double seconds = timer.elapsed_seconds();
+
+        bool identical = true;
+        if (!have_reference) {
+          reference = res;
+          have_reference = true;
+        } else {
+          identical = res.dominating_set == reference.dominating_set &&
+                      res.weight == reference.weight &&
+                      res.stats == reference.stats;
+        }
+
+        if (!first_row) std::cout << ",\n";
+        first_row = false;
+        std::cout << "  {\"instance\": \"" << inst.name << "\", \"family\": \""
+                  << spec.family << "\", \"n\": " << spec.n
+                  << ", \"m\": " << inst.wg.graph().num_edges()
+                  << ", \"solver\": \"" << solver_name
+                  << "\", \"threads\": " << w << ", \"seconds\": " << seconds
+                  << ", \"rounds\": " << res.stats.rounds
+                  << ", \"messages\": " << res.stats.messages
+                  << ", \"total_bits\": " << res.stats.total_bits
+                  << ", \"set_size\": " << res.dominating_set.size()
+                  << ", \"weight\": " << res.weight
+                  << ", \"identical\": " << (identical ? "true" : "false")
+                  << "}";
+        if (!identical) {
+          std::cerr << "DETERMINISM VIOLATION: " << inst.name << " / "
+                    << solver_name << " at threads=" << w << "\n";
+          std::cout << "\n]\n";
+          return 1;
+        }
+      }
+    }
+  }
+  std::cout << "\n]\n";
+  return 0;
+}

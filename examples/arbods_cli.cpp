@@ -10,6 +10,8 @@
 //             --eps E (default 0.25)   --t T (default 2)   --k K (default 2)
 //             --weights unit|uniform|powerlaw|degree|invdegree (default unit)
 //             --seed S
+//             --threads W (simulator worker pool; 0 = all hardware threads,
+//                          default 1; results identical for every W)
 // families:   tree | forest2 | forest5 | grid | planar | ba2 | ba4 | er
 #include <cstring>
 #include <iostream>
@@ -34,10 +36,10 @@ void print_solver_table(std::ostream& os) {
   os << "registered solvers:\n";
   for (const auto& info : harness::all_solvers()) {
     os << "  " << info.name;
-    for (std::size_t pad = info.name.size(); pad < 14; ++pad) os << ' ';
+    for (std::size_t pad = info.name.size(); pad < 18; ++pad) os << ' ';
     os << info.theorem << " — " << info.guarantee << "\n";
   }
-  os << "  greedy        centralized Johnson greedy baseline\n";
+  os << "  greedy            centralized Johnson greedy baseline\n";
 }
 
 [[noreturn]] void usage() {
@@ -46,7 +48,7 @@ void print_solver_table(std::ostream& os) {
                "grid|planar|ba2|ba4|er --n N)\n"
                "                  [--alpha A] [--eps E] [--t T] [--k K]\n"
                "                  [--weights unit|uniform|powerlaw|degree|"
-               "invdegree] [--seed S]\n";
+               "invdegree] [--seed S] [--threads W]\n";
   print_solver_table(std::cerr);
   std::exit(2);
 }
@@ -104,6 +106,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--k")) params.k = std::stoi(need("--k"));
     else if (!std::strcmp(argv[i], "--weights")) weights = need("--weights");
     else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
+    else if (!std::strcmp(argv[i], "--threads")) params.threads = std::stoi(need("--threads"));
     else usage();
   }
 

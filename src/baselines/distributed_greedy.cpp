@@ -22,52 +22,59 @@ void ThresholdGreedyMds::initialize(Network& net) {
   stage_ = n == 0 ? Stage::kDone : Stage::kJoin;
 }
 
+void ThresholdGreedyMds::recount_uncovered(const Network& net) {
+  // Derived from the per-node covered_ flags after each parallel section
+  // instead of decremented in place, so the worker pool never contends on
+  // a shared counter (and the count cannot be torn or dropped).
+  num_uncovered_ = 0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    if (!covered_[v]) ++num_uncovered_;
+}
+
 void ThresholdGreedyMds::process_round(Network& net) {
-  const NodeId n = net.num_nodes();
   switch (stage_) {
     case Stage::kJoin: {
       // Absorb "became covered" notices from the previous phase.
-      for (NodeId v = 0; v < n; ++v) {
+      net.for_nodes([&](NodeId v) {
         for (const Message& m : net.inbox(v)) {
           if (m.tag() == kTagCovered) {
             ARBODS_CHECK(uncovered_degree_[v] > 0);
             --uncovered_degree_[v];
           }
         }
-      }
+      });
       const double theta =
           (static_cast<double>(net.graph().max_degree()) + 1.0) /
           std::pow(2.0, static_cast<double>(phase_));
       const bool last_call = theta <= 1.0;
-      for (NodeId v = 0; v < n; ++v) {
-        if (in_set_[v] || uncovered_degree_[v] == 0) continue;
+      net.for_nodes([&](NodeId v) {
+        if (in_set_[v] || uncovered_degree_[v] == 0) return;
         if (static_cast<double>(uncovered_degree_[v]) >= theta ||
             (last_call && uncovered_degree_[v] >= 1)) {
           in_set_[v] = true;
           bool was_uncovered = !covered_[v];
           if (was_uncovered) {
             covered_[v] = true;
-            --num_uncovered_;
             --uncovered_degree_[v];
           }
           // One message per edge per round: the join flag also tells
           // neighbors whether v just left the uncovered set.
           net.broadcast(v, Message::tagged(kTagJoin).add_flag(was_uncovered));
         }
-      }
+      });
+      recount_uncovered(net);
       ++phase_;
       stage_ = Stage::kCoverUpdate;
       break;
     }
 
     case Stage::kCoverUpdate: {
-      for (NodeId v = 0; v < n; ++v) {
+      net.for_nodes([&](NodeId v) {
         bool newly_covered = false;
         for (const Message& m : net.inbox(v)) {
           if (m.tag() != kTagJoin) continue;
           if (!covered_[v]) {
             covered_[v] = true;
-            --num_uncovered_;
             --uncovered_degree_[v];
             newly_covered = true;
           }
@@ -77,7 +84,8 @@ void ThresholdGreedyMds::process_round(Network& net) {
           }
         }
         if (newly_covered) net.broadcast(v, Message::tagged(kTagCovered));
-      }
+      });
+      recount_uncovered(net);
       stage_ = (num_uncovered_ == 0 || phase_ > max_phase_) ? Stage::kDone
                                                             : Stage::kJoin;
       ARBODS_CHECK_MSG(num_uncovered_ == 0 || phase_ <= max_phase_,
@@ -120,45 +128,51 @@ void ElectionGreedyMds::initialize(Network& net) {
   (void)net;
 }
 
+void ElectionGreedyMds::recount_uncovered(const Network& net) {
+  // Same rationale as ThresholdGreedyMds::recount_uncovered: keep the
+  // termination counter out of the parallel sections.
+  num_uncovered_ = 0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v)
+    if (!covered_[v]) ++num_uncovered_;
+}
+
 void ElectionGreedyMds::process_round(Network& net) {
-  const NodeId n = net.num_nodes();
   switch (stage_) {
     case Stage::kUncov: {
       // (Later phases:) absorb joins, then uncovered nodes re-announce.
-      for (NodeId v = 0; v < n; ++v) {
+      net.for_nodes([&](NodeId v) {
         for (const Message& m : net.inbox(v)) {
-          if (m.tag() == kTagJoin && !covered_[v]) {
-            covered_[v] = true;
-            --num_uncovered_;
-          }
+          if (m.tag() == kTagJoin && !covered_[v]) covered_[v] = true;
         }
-      }
+      });
+      recount_uncovered(net);
       if (num_uncovered_ == 0) {
         stage_ = Stage::kDone;
         break;
       }
-      for (NodeId v = 0; v < n; ++v)
+      net.for_nodes([&](NodeId v) {
         if (!covered_[v]) net.broadcast(v, Message::tagged(kTagUncov));
+      });
       stage_ = Stage::kCount;
       break;
     }
 
     case Stage::kCount: {
-      for (NodeId v = 0; v < n; ++v) {
+      net.for_nodes([&](NodeId v) {
         NodeId count = covered_[v] ? 0 : 1;
         for (const Message& m : net.inbox(v))
           if (m.tag() == kTagUncov) ++count;
         uncovered_degree_[v] = count;
         net.broadcast(v, Message::tagged(kTagCount).add_level(count));
-      }
+      });
       stage_ = Stage::kNominate;
       break;
     }
 
     case Stage::kNominate: {
-      for (NodeId v = 0; v < n; ++v) {
+      net.for_nodes([&](NodeId v) {
         self_nominated_[v] = false;
-        if (covered_[v]) continue;
+        if (covered_[v]) return;
         NodeId best = v;
         NodeId best_count = uncovered_degree_[v];
         for (const Message& m : net.inbox(v)) {
@@ -173,25 +187,23 @@ void ElectionGreedyMds::process_round(Network& net) {
           self_nominated_[v] = true;
         else
           net.send(v, best, Message::tagged(kTagNominate));
-      }
+      });
       stage_ = Stage::kJoin;
       break;
     }
 
     case Stage::kJoin: {
-      for (NodeId u = 0; u < n; ++u) {
+      net.for_nodes([&](NodeId u) {
         bool nominated = self_nominated_[u];
         for (const Message& m : net.inbox(u))
           if (m.tag() == kTagNominate) nominated = true;
         if (nominated && !in_set_[u]) {
           in_set_[u] = true;
-          if (!covered_[u]) {
-            covered_[u] = true;
-            --num_uncovered_;
-          }
+          covered_[u] = true;
           net.broadcast(u, Message::tagged(kTagJoin));
         }
-      }
+      });
+      recount_uncovered(net);
       stage_ = Stage::kUncov;
       break;
     }

@@ -37,11 +37,14 @@ class ThresholdGreedyMds final : public DistributedAlgorithm {
 
  private:
   enum class Stage { kJoin, kCoverUpdate, kDone };
+
+  void recount_uncovered(const Network& net);
+
   Stage stage_ = Stage::kJoin;
   std::int64_t phase_ = 0;
   std::int64_t max_phase_ = 0;
-  std::vector<bool> in_set_;
-  std::vector<bool> covered_;
+  NodeFlags in_set_;
+  NodeFlags covered_;
   std::vector<NodeId> uncovered_degree_;  // |N+(v) ∩ uncovered|
   NodeId num_uncovered_ = 0;
 };
@@ -62,10 +65,13 @@ class ElectionGreedyMds final : public DistributedAlgorithm {
 
  private:
   enum class Stage { kUncov, kCount, kNominate, kJoin, kDone };
+
+  void recount_uncovered(const Network& net);
+
   Stage stage_ = Stage::kUncov;
-  std::vector<bool> in_set_;
-  std::vector<bool> covered_;
-  std::vector<bool> self_nominated_;
+  NodeFlags in_set_;
+  NodeFlags covered_;
+  NodeFlags self_nominated_;
   std::vector<NodeId> uncovered_degree_;
   NodeId num_uncovered_ = 0;
 };

@@ -34,4 +34,10 @@ struct Edge {
 /// A set of nodes represented as a sorted vector of ids.
 using NodeSet = std::vector<NodeId>;
 
+/// Per-node boolean flags, one byte per node. Used instead of
+/// std::vector<bool> wherever distinct nodes' flags are written
+/// concurrently from the simulator's worker pool (vector<bool> packs
+/// eight nodes into one byte, so per-element writes would race).
+using NodeFlags = std::vector<std::uint8_t>;
+
 }  // namespace arbods

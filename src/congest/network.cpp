@@ -1,11 +1,25 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
 
 namespace arbods {
+
+namespace {
+
+// Which worker slot the current thread accounts sends/statistics to.
+// Worker threads set this for the duration of a run_node_chunks section;
+// everywhere else it is 0, the calling thread's slot. Networks clamp the
+// value to their own pool width (worker_slot below), so a Network driven
+// from inside another Network's worker section — which inherits the outer
+// worker's index — safely accounts to its own slot 0.
+thread_local int tls_worker = 0;
+
+}  // namespace
 
 int congest_message_cap(const CongestConfig& config, NodeId n) {
   if (config.max_message_bits_override > 0)
@@ -14,9 +28,17 @@ int congest_message_cap(const CongestConfig& config, NodeId n) {
       64, config.log_factor * ceil_log2(static_cast<std::uint64_t>(n) + 1));
 }
 
+std::size_t InboxView::size() const {
+  std::size_t count = 0;
+  for (std::size_t lane = first_lane_; lane != end_lane_; ++lane)
+    count += (*lanes_)[lane].size();
+  return count;
+}
+
 Network::Network(const WeightedGraph& wg, CongestConfig config)
     : wg_(&wg), config_(config) {
-  const NodeId n = wg.num_nodes();
+  const Graph& g = wg.graph();
+  const NodeId n = g.num_nodes();
   size_model_.id_bits = bit_width_for(n == 0 ? 1 : n - 1);
   size_model_.weight_bits = wg.weight_bits();
   // Levels count (1+eps)-steps; 2 * log2(n * W) covers every algorithm here.
@@ -24,12 +46,49 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
       std::min(31, 2 * (bit_width_for(n + 1) + size_model_.weight_bits));
   size_model_.real_bits = default_value_codec().bit_width();
   max_message_bits_ = congest_message_cap(config_, n);
-  inboxes_.resize(n);
-  outboxes_.resize(n);
+
+  // CSR arc offsets and the mirror permutation (out-arc -> receiver lane).
+  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + g.degree(v);
+  const std::size_t arcs = offsets_[n];
+  ARBODS_CHECK_MSG(arcs < std::numeric_limits<EdgeSlot>::max(),
+                   "graph too large for 32-bit edge slots");
+  mirror_.resize(arcs);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const NodeId u = nb[i];
+      const auto unb = g.neighbors(u);
+      const auto it = std::lower_bound(unb.begin(), unb.end(), v);
+      mirror_[offsets_[v] + i] =
+          static_cast<EdgeSlot>(offsets_[u] +
+                                static_cast<std::size_t>(it - unb.begin()));
+    }
+  }
+  buf_a_.resize(arcs);
+  buf_b_.resize(arcs);
+  in_ = &buf_a_;
+  out_ = &buf_b_;
+
+  int workers = config_.threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+  if (n > 0 && workers > static_cast<int>(n)) workers = static_cast<int>(n);
+  if (n == 0) workers = 1;
+  worker_stats_.assign(static_cast<std::size_t>(workers), WorkerStats{});
+  touched_out_.assign(static_cast<std::size_t>(workers), {});
+  touched_in_.assign(static_cast<std::size_t>(workers), {});
+  if (workers > 1) pool_ = std::make_unique<WorkerPool>(workers);
+
   node_rngs_.reserve(n);
   Rng base(config_.seed);
   for (NodeId v = 0; v < n; ++v) node_rngs_.push_back(base.split(v));
 }
+
+int Network::num_workers() const { return pool_ ? pool_->num_workers() : 1; }
 
 Rng& Network::rng(NodeId v) {
   ARBODS_DCHECK(v < num_nodes());
@@ -43,48 +102,120 @@ void Network::account(const Message& m) {
                      "CONGEST violation: message of " << bits << " bits > cap "
                                                       << max_message_bits_);
   }
-  ++stats_.messages;
-  stats_.total_bits += bits;
-  stats_.max_message_bits = std::max(stats_.max_message_bits, bits);
+  WorkerStats& slot = worker_stats_[worker_slot()];
+  ++slot.messages;
+  slot.total_bits += bits;
+  slot.max_message_bits = std::max(slot.max_message_bits, bits);
+}
+
+std::size_t Network::worker_slot() const {
+  const std::size_t w = static_cast<std::size_t>(tls_worker);
+  return w < worker_stats_.size() ? w : 0;
+}
+
+void Network::deposit(std::size_t arc, Message&& m) {
+  const EdgeSlot lane = mirror_[arc];
+  std::vector<Message>& slot = (*out_)[lane];
+  if (slot.empty()) touched_out_[worker_slot()].push_back(lane);
+  slot.push_back(std::move(m));
 }
 
 void Network::send(NodeId from, NodeId to, Message m) {
-  ARBODS_CHECK_MSG(graph().has_edge(from, to),
+  const auto nb = graph().neighbors(from);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+  ARBODS_CHECK_MSG(it != nb.end() && *it == to,
                    "send along non-edge (" << from << "," << to << ")");
   if (config_.quantize_reals) m.quantize_reals(default_value_codec());
   m.sender_ = from;
   account(m);
-  outboxes_[to].push_back(std::move(m));
+  deposit(offsets_[from] + static_cast<std::size_t>(it - nb.begin()),
+          std::move(m));
 }
 
 void Network::broadcast(NodeId from, Message m) {
   if (config_.quantize_reals) m.quantize_reals(default_value_codec());
   m.sender_ = from;
-  for (NodeId to : neighbors(from)) {
+  const std::size_t begin = offsets_[from];
+  const std::size_t end = offsets_[from + 1];
+  for (std::size_t arc = begin; arc != end; ++arc) {
     account(m);
-    outboxes_[to].push_back(m);
+    if (arc + 1 == end) {
+      deposit(arc, std::move(m));
+      break;
+    }
+    deposit(arc, Message(m));
   }
 }
 
-std::span<const Message> Network::inbox(NodeId v) const {
+InboxView Network::inbox(NodeId v) const {
   ARBODS_DCHECK(v < num_nodes());
-  return inboxes_[v];
+  return InboxView(in_, offsets_[v], offsets_[v + 1]);
 }
 
 void Network::flip_buffers() {
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    inboxes_[v].clear();
-    std::swap(inboxes_[v], outboxes_[v]);
+  // The in-buffer holds last round's (already consumed) messages; clear
+  // exactly the lanes that were written, then promote the out-buffer.
+  for (auto& list : touched_in_) {
+    for (const EdgeSlot lane : list) (*in_)[lane].clear();
+    list.clear();
   }
+  std::swap(in_, out_);
+  std::swap(touched_in_, touched_out_);
+}
+
+void Network::clear_all_lanes() {
+  for (auto& list : touched_in_) {
+    for (const EdgeSlot lane : list) (*in_)[lane].clear();
+    list.clear();
+  }
+  for (auto& list : touched_out_) {
+    for (const EdgeSlot lane : list) (*out_)[lane].clear();
+    list.clear();
+  }
+}
+
+void Network::reduce_stats() {
+  for (WorkerStats& slot : worker_stats_) {
+    stats_.messages += slot.messages;
+    stats_.total_bits += slot.total_bits;
+    stats_.max_message_bits =
+        std::max(stats_.max_message_bits, slot.max_message_bits);
+    slot = WorkerStats{};
+  }
+  // int64 gives headroom of ~9e18 bits; a wrap would show up as a sign
+  // flip, which we refuse to silently report.
+  ARBODS_CHECK_MSG(stats_.messages >= 0 && stats_.total_bits >= 0,
+                   "RunStats counter overflow");
+}
+
+void Network::run_node_chunks(
+    const std::function<void(NodeId, NodeId)>& chunk_fn) {
+  const NodeId n = num_nodes();
+  if (!pool_) {
+    chunk_fn(0, n);
+    return;
+  }
+  const int workers = pool_->num_workers();
+  pool_->run([&](int w) {
+    tls_worker = w;
+    const NodeId begin = static_cast<NodeId>(
+        static_cast<std::uint64_t>(n) * static_cast<unsigned>(w) / workers);
+    const NodeId end = static_cast<NodeId>(
+        static_cast<std::uint64_t>(n) * (static_cast<unsigned>(w) + 1) /
+        workers);
+    chunk_fn(begin, end);
+    tls_worker = 0;
+  });
 }
 
 RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {
   stats_ = RunStats{};
+  for (WorkerStats& slot : worker_stats_) slot = WorkerStats{};
   round_ = 0;
-  for (auto& box : inboxes_) box.clear();
-  for (auto& box : outboxes_) box.clear();
+  clear_all_lanes();
 
   algo.initialize(*this);
+  reduce_stats();
   while (!algo.finished(*this)) {
     if (stats_.rounds >= max_rounds) {
       stats_.hit_round_limit = true;
@@ -94,6 +225,7 @@ RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {
     ++round_;
     ++stats_.rounds;
     algo.process_round(*this);
+    reduce_stats();
   }
   return stats_;
 }

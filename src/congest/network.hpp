@@ -6,25 +6,47 @@
 //     send one message per incident edge (possibly different per edge);
 //     messages are delivered at the start of the next round.
 //   * Message width is capped at O(log n) bits: `max_message_bits`
-//     (default 4 * ceil(log2(n+1)), at least 32). Oversized sends throw.
+//     (default 4 * ceil(log2(n+1)), at least 64). Oversized sends throw.
 //   * Initially a node knows only: its id, its weight, its neighbor count,
 //     and the globally known parameters the algorithm is promised
 //     (Delta, alpha, n, eps) — what an algorithm reads is by discipline
 //     restricted to the NodeView API plus its own per-node state.
 //
+// Delivery internals (the scaling hot path):
+//   * Messages live in two flat per-directed-edge lane arrays indexed by
+//     CSR edge offsets and swapped between rounds (double buffering). The
+//     lane for a message from u to v sits inside v's contiguous CSR range,
+//     so inbox(v) is a scan of v's range and messages arrive ordered by
+//     sender id. A precomputed mirror permutation maps each outgoing arc
+//     to the receiver-side lane, so a send is an O(1) slot write.
+//   * Each directed edge has exactly one writer (its tail), so sends from
+//     distinct nodes never race: process_round work may be partitioned
+//     across a worker pool (`CongestConfig::threads`) with no locks on the
+//     delivery path. Per-worker statistics slots and per-node RNG streams
+//     keep runs bit-identical regardless of thread count.
+//   * Only lanes actually written are cleared between rounds (tracked per
+//     worker), so a round costs O(active messages), not O(m).
+//
 // A DistributedAlgorithm owns all per-node state (struct-of-vectors) and is
 // driven by Network::run(). This keeps the hot loop virtual-call-free per
 // node and allocation-free per round, while the NodeView/send API preserves
-// the locality discipline.
+// the locality discipline. Algorithms opt into the worker pool by routing
+// their per-node loops through Network::for_nodes; the code for node v must
+// then touch only v's own slots of the algorithm's per-node arrays (and
+// must not use std::vector<bool>, whose packed bits are not per-element
+// thread-safe).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/random.hpp"
 #include "common/types.hpp"
 #include "congest/message.hpp"
+#include "congest/worker_pool.hpp"
 #include "graph/weighted_graph.hpp"
 
 namespace arbods {
@@ -40,6 +62,10 @@ struct CongestConfig {
   bool quantize_reals = true;
   /// Seed for all per-node randomness.
   std::uint64_t seed = 0xa5a5a5a5ULL;
+  /// Worker-pool width for Network::for_nodes. 1 = serial (default);
+  /// 0 = std::thread::hardware_concurrency(). Results are bit-identical
+  /// for every value.
+  int threads = 1;
 };
 
 /// The per-message bit cap a Network with this config enforces on an
@@ -53,6 +79,8 @@ struct RunStats {
   std::int64_t total_bits = 0;        // sum of message widths
   int max_message_bits = 0;           // widest single message observed
   bool hit_round_limit = false;
+
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 class Network;
@@ -76,6 +104,78 @@ class DistributedAlgorithm {
   /// Global termination predicate (checked by the driver after each round;
   /// in a real network this is knowledge of the a-priori round bound).
   virtual bool finished(const Network& net) const = 0;
+};
+
+/// Iterable view over the messages delivered to one node this round:
+/// the node's contiguous CSR lane range, skipping lanes with no message.
+/// Messages appear ordered by sender id (adjacency lists are sorted),
+/// with per-sender send order preserved within a lane.
+class InboxView {
+ public:
+  class const_iterator {
+   public:
+    using value_type = Message;
+    using reference = const Message&;
+    using difference_type = std::ptrdiff_t;
+
+    reference operator*() const { return (*lanes_)[lane_][msg_]; }
+    const Message* operator->() const { return &(*lanes_)[lane_][msg_]; }
+    const_iterator& operator++() {
+      ++msg_;
+      settle();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++*this;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.lane_ == b.lane_ && a.msg_ == b.msg_;
+    }
+
+   private:
+    friend class InboxView;
+    const_iterator(const std::vector<std::vector<Message>>* lanes,
+                   std::size_t lane, std::size_t end_lane)
+        : lanes_(lanes), lane_(lane), end_lane_(end_lane) {
+      settle();
+    }
+    void settle() {
+      while (lane_ != end_lane_ && msg_ >= (*lanes_)[lane_].size()) {
+        ++lane_;
+        msg_ = 0;
+      }
+      if (lane_ == end_lane_) msg_ = 0;
+    }
+
+    const std::vector<std::vector<Message>>* lanes_ = nullptr;
+    std::size_t lane_ = 0;
+    std::size_t end_lane_ = 0;
+    std::size_t msg_ = 0;
+  };
+
+  const_iterator begin() const {
+    return const_iterator(lanes_, first_lane_, end_lane_);
+  }
+  const_iterator end() const {
+    return const_iterator(lanes_, end_lane_, end_lane_);
+  }
+  bool empty() const { return begin() == end(); }
+  /// First delivered message; the inbox must be non-empty.
+  const Message& front() const { return *begin(); }
+  /// Number of delivered messages (O(degree)).
+  std::size_t size() const;
+
+ private:
+  friend class Network;
+  InboxView(const std::vector<std::vector<Message>>* lanes,
+            std::size_t first_lane, std::size_t end_lane)
+      : lanes_(lanes), first_lane_(first_lane), end_lane_(end_lane) {}
+
+  const std::vector<std::vector<Message>>* lanes_;
+  std::size_t first_lane_;
+  std::size_t end_lane_;
 };
 
 class Network {
@@ -103,9 +203,25 @@ class Network {
   void broadcast(NodeId from, Message m);
 
   /// Messages delivered to v at the start of the current round.
-  std::span<const Message> inbox(NodeId v) const;
+  InboxView inbox(NodeId v) const;
 
   std::int64_t current_round() const { return round_; }
+
+  // --- parallel execution ---
+  /// Runs fn(v) for every node, partitioned across the worker pool when
+  /// CongestConfig::threads > 1 (contiguous static chunks, so the
+  /// assignment — and hence every per-node result — is independent of the
+  /// actual thread count). fn(v) must only touch node v's state, v's
+  /// inbox, v's RNG stream, and sends originating at v.
+  template <typename F>
+  void for_nodes(F&& fn) {
+    run_node_chunks([&fn](NodeId begin, NodeId end) {
+      for (NodeId v = begin; v < end; ++v) fn(v);
+    });
+  }
+
+  /// Worker-pool width this Network executes for_nodes with.
+  int num_workers() const;
 
   // --- driving ---
   /// Runs until algo.finished() or max_rounds; returns statistics.
@@ -114,16 +230,47 @@ class Network {
   const RunStats& stats() const { return stats_; }
 
  private:
+  /// Lane index into the flat per-directed-edge buffers.
+  using EdgeSlot = std::uint32_t;
+
+  struct alignas(64) WorkerStats {
+    std::int64_t messages = 0;
+    std::int64_t total_bits = 0;
+    int max_message_bits = 0;
+  };
+
   void flip_buffers();
+  void clear_all_lanes();
+  std::size_t worker_slot() const;
   void account(const Message& m);
+  void deposit(std::size_t arc, Message&& m);
+  void reduce_stats();
+  void run_node_chunks(const std::function<void(NodeId, NodeId)>& chunk_fn);
 
   const WeightedGraph* wg_;
   CongestConfig config_;
   MessageSizeModel size_model_;
   int max_message_bits_ = 0;
   std::int64_t round_ = 0;
-  std::vector<std::vector<Message>> inboxes_;
-  std::vector<std::vector<Message>> outboxes_;
+
+  // CSR arc offsets (offsets_[v]..offsets_[v+1] are v's incident lanes in
+  // receiver order) and the out-arc -> receiver-lane mirror permutation.
+  std::vector<std::size_t> offsets_;
+  std::vector<EdgeSlot> mirror_;
+
+  // Double-buffered flat lane arrays; in_/out_ point into buf_a_/buf_b_.
+  std::vector<std::vector<Message>> buf_a_;
+  std::vector<std::vector<Message>> buf_b_;
+  std::vector<std::vector<Message>>* in_ = nullptr;
+  std::vector<std::vector<Message>>* out_ = nullptr;
+
+  // Lanes written this round / holding this round's inbox, per worker, so
+  // a flip clears O(messages) lanes instead of O(m).
+  std::vector<std::vector<EdgeSlot>> touched_out_;
+  std::vector<std::vector<EdgeSlot>> touched_in_;
+
+  std::vector<WorkerStats> worker_stats_;
+  std::unique_ptr<WorkerPool> pool_;
   std::vector<Rng> node_rngs_;
   RunStats stats_;
 };

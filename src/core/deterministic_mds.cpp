@@ -29,12 +29,12 @@ void DeterministicMds::initialize(Network& net) {
 }
 
 void DeterministicMds::process_round(Network& net) {
-  const NodeId n = net.num_nodes();
   switch (stage_) {
     case Stage::kPartial: {
       partial_.process_round(net);
       if (!partial_.finished(net)) break;
-      for (NodeId v = 0; v < n; ++v) in_final_[v] = partial_.in_partial_set()[v];
+      net.for_nodes(
+          [&](NodeId v) { in_final_[v] = partial_.in_partial_set()[v]; });
       // Completion starts next round; kSelf needs no communication at all
       // but we keep one announce round so neighbors learn their dominator
       // (each node must know whether it is in the output set — it does —
@@ -47,32 +47,33 @@ void DeterministicMds::process_round(Network& net) {
 
     case Stage::kRequest: {
       // Every undominated v asks the tau-witness in N+(v) to join.
-      for (NodeId v = 0; v < n; ++v) {
-        if (partial_.dominated()[v]) continue;
+      net.for_nodes([&](NodeId v) {
+        if (partial_.dominated()[v]) return;
         const NodeId target = partial_.tau_witness()[v];
         if (target == v) {
           in_final_[v] = true;  // v itself carries tau_v
         } else {
           net.send(v, target, Message::tagged(kTagRequest));
         }
-      }
+      });
       stage_ = Stage::kCompletionJoin;
       break;
     }
 
     case Stage::kCompletionJoin: {
       if (params_.completion == CompletionMode::kSelf) {
-        for (NodeId v = 0; v < n; ++v)
+        net.for_nodes([&](NodeId v) {
           if (!partial_.dominated()[v]) in_final_[v] = true;
+        });
       } else {
-        for (NodeId u = 0; u < n; ++u) {
+        net.for_nodes([&](NodeId u) {
           for (const Message& m : net.inbox(u)) {
             if (m.tag() == kTagRequest) {
               in_final_[u] = true;
               break;
             }
           }
-        }
+        });
       }
       stage_ = Stage::kDone;
       break;

@@ -50,7 +50,7 @@ class DeterministicMds final : public DistributedAlgorithm {
   DeterministicMdsParams params_;
   PartialDominatingSet partial_;
   Stage stage_ = Stage::kPartial;
-  std::vector<bool> in_final_;  // S union S'
+  NodeFlags in_final_;  // S union S'
 };
 
 /// The lambda of Theorem 1.1.

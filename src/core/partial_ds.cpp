@@ -41,8 +41,9 @@ void PartialDominatingSet::initialize(Network& net) {
   r_ = partial_ds_iterations(params_.eps, params_.lambda,
                              net.graph().max_degree());
   stage_ = n == 0 ? Stage::kDone : Stage::kAwaitWeights;
-  for (NodeId v = 0; v < n; ++v)
+  net.for_nodes([&](NodeId v) {
     net.broadcast(v, Message::tagged(kTagWeight).add_weight(net.weight(v)));
+  });
 }
 
 void PartialDominatingSet::absorb_joins(Network& net, NodeId v) {
@@ -52,7 +53,6 @@ void PartialDominatingSet::absorb_joins(Network& net, NodeId v) {
 }
 
 void PartialDominatingSet::process_round(Network& net) {
-  const NodeId n = net.num_nodes();
   const double one_plus_eps = 1.0 + params_.eps;
   const double delta_plus_1 =
       static_cast<double>(net.graph().max_degree()) + 1.0;
@@ -60,7 +60,8 @@ void PartialDominatingSet::process_round(Network& net) {
   switch (stage_) {
     case Stage::kAwaitWeights: {
       // tau_v = min weight in N+(v), witness = the argmin (ties: lowest id).
-      for (NodeId v = 0; v < n; ++v) {
+      const bool loop_skipped = r_ == 0;
+      net.for_nodes([&](NodeId v) {
         Weight best = net.weight(v);
         NodeId witness = v;
         for (const Message& m : net.inbox(v)) {
@@ -74,36 +75,29 @@ void PartialDominatingSet::process_round(Network& net) {
         tau_[v] = best;
         tau_witness_[v] = witness;
         x_[v] = static_cast<double>(best) / delta_plus_1;
-      }
-      if (r_ == 0) {
-        stage_ = Stage::kDone;
-        break;
-      }
-      for (NodeId v = 0; v < n; ++v)
-        net.broadcast(v, Message::tagged(kTagValue).add_real(x_[v]));
-      stage_ = Stage::kJoinRound;
+        if (!loop_skipped)
+          net.broadcast(v, Message::tagged(kTagValue).add_real(x_[v]));
+      });
+      stage_ = loop_skipped ? Stage::kDone : Stage::kJoinRound;
       break;
     }
 
     case Stage::kValueRound: {
       // Step 3 of the previous iteration (bump undominated), fused with the
       // value broadcast that opens this iteration.
-      for (NodeId v = 0; v < n; ++v) {
+      const bool trailing = iter_done_ == r_;  // last bump; the loop is over
+      net.for_nodes([&](NodeId v) {
         absorb_joins(net, v);
         if (!dominated_[v]) x_[v] *= one_plus_eps;
-      }
-      if (iter_done_ == r_) {  // trailing bump only; the loop is over
-        stage_ = Stage::kDone;
-        break;
-      }
-      for (NodeId v = 0; v < n; ++v)
-        net.broadcast(v, Message::tagged(kTagValue).add_real(x_[v]));
-      stage_ = Stage::kJoinRound;
+        if (!trailing)
+          net.broadcast(v, Message::tagged(kTagValue).add_real(x_[v]));
+      });
+      stage_ = trailing ? Stage::kDone : Stage::kJoinRound;
       break;
     }
 
     case Stage::kJoinRound: {
-      for (NodeId u = 0; u < n; ++u) {
+      net.for_nodes([&](NodeId u) {
         double sum = x_[u];
         for (const Message& m : net.inbox(u)) {
           if (m.tag() == kTagValue) sum += m.real_at(1);
@@ -114,7 +108,7 @@ void PartialDominatingSet::process_round(Network& net) {
           dominated_[u] = true;
           net.broadcast(u, Message::tagged(kTagJoin));
         }
-      }
+      });
       ++iter_done_;
       stage_ = Stage::kValueRound;
       break;

@@ -38,8 +38,8 @@ class PartialDominatingSet final : public DistributedAlgorithm {
   bool finished(const Network& net) const override;
 
   // --- results (valid once finished) ---
-  const std::vector<bool>& in_partial_set() const { return in_s_; }
-  const std::vector<bool>& dominated() const { return dominated_; }
+  const NodeFlags& in_partial_set() const { return in_s_; }
+  const NodeFlags& dominated() const { return dominated_; }
   const std::vector<double>& packing() const { return x_; }
   const std::vector<Weight>& tau() const { return tau_; }
   /// Per-node minimum-weight closed neighbor (carrier of tau_v).
@@ -64,8 +64,8 @@ class PartialDominatingSet final : public DistributedAlgorithm {
   std::vector<double> x_;
   std::vector<Weight> tau_;
   std::vector<NodeId> tau_witness_;
-  std::vector<bool> in_s_;
-  std::vector<bool> dominated_;
+  NodeFlags in_s_;
+  NodeFlags dominated_;
 };
 
 /// r from the proof of Lemma 4.1: the integer >= 1 with

@@ -39,8 +39,8 @@ struct RandomizedExtensionParams {
 /// Initial state handed from Lemma 4.1 (all empty => S = empty set and the
 /// extension runs its own weight prologue with x_v = tau_v/(Delta+1)).
 struct ExtensionSeed {
-  std::vector<bool> in_set;      // S
-  std::vector<bool> dominated;   // N+(S)
+  NodeFlags in_set;              // S
+  NodeFlags dominated;           // N+(S)
   std::vector<double> packing;   // x
 };
 
@@ -86,8 +86,8 @@ class RandomizedExtension final : public DistributedAlgorithm {
   /// certificate uses.
   std::vector<double> initial_x_;
   std::vector<double> big_x_;  // X_u over undominated closed neighbors
-  std::vector<bool> in_set_;   // S union S'
-  std::vector<bool> dominated_;
+  NodeFlags in_set_;   // S union S'
+  NodeFlags dominated_;
   NodeId num_undominated_ = 0;
 };
 

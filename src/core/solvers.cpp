@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baselines/distributed_greedy.hpp"
 #include "common/check.hpp"
 #include "core/deterministic_mds.hpp"
 #include "core/partial_ds.hpp"
@@ -145,6 +146,24 @@ MdsResult solve_mds_unknown_alpha(const WeightedGraph& wg, double eps,
 MdsResult solve_mds_tree(const WeightedGraph& wg, CongestConfig config) {
   Network net(wg, config);
   TreeMds algo;
+  RunStats stats = net.run(algo, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return algo.result(net);
+}
+
+MdsResult solve_mds_greedy_threshold(const WeightedGraph& wg,
+                                     CongestConfig config) {
+  Network net(wg, config);
+  baselines::ThresholdGreedyMds algo;
+  RunStats stats = net.run(algo, round_budget(wg));
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return algo.result(net);
+}
+
+MdsResult solve_mds_greedy_election(const WeightedGraph& wg,
+                                    CongestConfig config) {
+  Network net(wg, config);
+  baselines::ElectionGreedyMds algo;
   RunStats stats = net.run(algo, round_budget(wg));
   ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
   return algo.result(net);

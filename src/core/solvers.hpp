@@ -51,6 +51,17 @@ MdsResult solve_mds_unknown_alpha(const WeightedGraph& wg, double eps,
 /// Observation A.1 (forests; unweighted semantics).
 MdsResult solve_mds_tree(const WeightedGraph& wg, CongestConfig config = {});
 
+/// Lenzen–Wattenhofer-style threshold greedy baseline
+/// (baselines/distributed_greedy.hpp): O(alpha log Delta) on unit
+/// weights, deterministic, O(log Delta) phases.
+MdsResult solve_mds_greedy_threshold(const WeightedGraph& wg,
+                                     CongestConfig config = {});
+
+/// "Vote for your best neighbor" election greedy baseline: O(1) phases,
+/// no worst-case approximation guarantee.
+MdsResult solve_mds_greedy_election(const WeightedGraph& wg,
+                                    CongestConfig config = {});
+
 /// The Theorem 1.2 parameter schedule (exposed for tests/benches):
 struct Theorem12Params {
   double eps;

@@ -1,7 +1,11 @@
 #include "harness/corpus.hpp"
 
+#include <map>
+#include <mutex>
+#include <sstream>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/random.hpp"
 #include "gen/arboricity_families.hpp"
 #include "gen/classic.hpp"
@@ -81,6 +85,59 @@ std::vector<CorpusInstance> standard_corpus(bool weighted,
   add("ba4_n4096", gen::barabasi_albert(4096, 4, rng), 4);
   add("star_n4096", gen::star(4096), 1);
   return out;
+}
+
+namespace {
+
+Graph build_scaling_graph(const ScalingSpec& spec, Rng& rng) {
+  if (spec.family == "tree") return gen::random_tree_prufer(spec.n, rng);
+  if (spec.family == "forest2") return gen::k_tree_union(spec.n, 2, rng);
+  if (spec.family == "forest5") return gen::k_tree_union(spec.n, 5, rng);
+  if (spec.family == "ba3") return gen::barabasi_albert(spec.n, 3, rng);
+  if (spec.family == "grid") {
+    NodeId side = 1;
+    while (side * side < spec.n) ++side;
+    return gen::grid(side, side);
+  }
+  throw CheckError("unknown scaling family '" + spec.family + "'");
+}
+
+}  // namespace
+
+std::vector<ScalingSpec> scaling_corpus() {
+  std::vector<ScalingSpec> out;
+  auto add = [&](const char* family, NodeId n, NodeId alpha) {
+    std::ostringstream name;
+    name << family << "_n" << n;
+    out.push_back({name.str(), family, n, alpha});
+  };
+  for (const NodeId n : {10'000, 50'000, 100'000, 500'000}) {
+    add("tree", n, 1);
+    add("forest2", n, 2);
+    add("ba3", n, 3);
+    add("grid", n, 2);
+    if (n <= 100'000) add("forest5", n, 5);  // m = 5n; cap the memory bill
+  }
+  return out;
+}
+
+const CorpusInstance& scaling_instance(const ScalingSpec& spec,
+                                       std::uint64_t seed) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::string, std::uint64_t>, CorpusInstance>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto key = std::make_pair(spec.name, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(mix64(seed) ^ mix64(spec.n));
+    Graph g = build_scaling_graph(spec, rng);
+    const bool forest = spec.alpha == 1;
+    CorpusInstance inst{spec.name, WeightedGraph::uniform(std::move(g)),
+                        spec.alpha, forest, /*unit_weights=*/true};
+    it = cache.emplace(key, std::move(inst)).first;
+  }
+  return it->second;
 }
 
 }  // namespace arbods::harness

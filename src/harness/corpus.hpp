@@ -5,6 +5,11 @@
 // checks can compare every solver against the true optimum.
 // `standard_corpus` is the bench-scale family set (formerly duplicated in
 // bench/bench_util.hpp).
+// The scaling tier (`scaling_corpus` / `scaling_instance`) is the
+// large-instance set behind bench/exp12_scaling.cpp: bounded-arboricity
+// families at n = 10k..500k, described cheaply up front and built lazily
+// on first use (then cached in-process, so a sweep touching the same
+// instance at several thread counts generates it once).
 #pragma once
 
 #include <cstdint>
@@ -29,5 +34,24 @@ std::vector<CorpusInstance> small_corpus(std::uint64_t seed);
 
 /// The standard laptop-scale experiment families (n ~ 4096).
 std::vector<CorpusInstance> standard_corpus(bool weighted, std::uint64_t seed);
+
+/// A scaling-tier instance: cheap description now, graph on demand.
+struct ScalingSpec {
+  std::string name;    // e.g. "forest2_n100000"
+  std::string family;  // tree | forest2 | forest5 | ba3 | grid
+  NodeId n;
+  NodeId alpha;        // arboricity promise of the family
+};
+
+/// Bounded-arboricity families crossed with n in {10k, 50k, 100k, 500k}
+/// (the densest families stop at 100k to keep memory in check).
+std::vector<ScalingSpec> scaling_corpus();
+
+/// Builds the spec's unit-weight instance, caching it in-process keyed on
+/// (name, seed): the first call pays the generation cost, later calls are
+/// lookups. Thread-safe. The reference stays valid for the process
+/// lifetime.
+const CorpusInstance& scaling_instance(const ScalingSpec& spec,
+                                       std::uint64_t seed = 12345);
 
 }  // namespace arbods::harness

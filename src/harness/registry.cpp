@@ -74,6 +74,22 @@ double unknown_alpha_bound(const WeightedGraph& wg, const SolverParams& p) {
 // with unit weights.
 double tree_bound(const WeightedGraph&, const SolverParams&) { return 3.0; }
 
+// LW10-shape baseline: each of the O(log Delta) phases adds O(alpha)*OPT
+// nodes on arboricity-alpha graphs with unit weights. Constant calibrated
+// against the exact optimum on the small corpus (fixed seeds).
+double greedy_threshold_bound(const WeightedGraph& wg, const SolverParams& p) {
+  const double delta =
+      std::max<double>(1.0, static_cast<double>(wg.graph().max_degree()));
+  const double phases = std::log2(delta) + 2.0;
+  return 2.0 * (2.0 * static_cast<double>(p.alpha) + 1.0) * phases + 3.0;
+}
+
+// The election heuristic has no worst-case guarantee; on unit weights any
+// dominating set trivially costs at most n <= n * OPT.
+double greedy_election_bound(const WeightedGraph& wg, const SolverParams&) {
+  return std::max<double>(1.0, static_cast<double>(wg.num_nodes()));
+}
+
 MdsResult run_det(const WeightedGraph& wg, const SolverParams& p,
                   const CongestConfig& cfg) {
   return solve_mds_deterministic(wg, p.alpha, p.eps, cfg);
@@ -109,7 +125,17 @@ MdsResult run_tree(const WeightedGraph& wg, const SolverParams&,
   return solve_mds_tree(wg, cfg);
 }
 
-constexpr std::array<SolverInfo, 7> kSolvers{{
+MdsResult run_greedy_threshold(const WeightedGraph& wg, const SolverParams&,
+                               const CongestConfig& cfg) {
+  return solve_mds_greedy_threshold(wg, cfg);
+}
+
+MdsResult run_greedy_election(const WeightedGraph& wg, const SolverParams&,
+                              const CongestConfig& cfg) {
+  return solve_mds_greedy_election(wg, cfg);
+}
+
+constexpr std::array<SolverInfo, 9> kSolvers{{
     {"det", "Theorem 1.1", "(2a+1)(1+eps)",
      {.alpha = true, .eps = true}, false, false, false,
      check_alpha_eps, deterministic_bound, run_det},
@@ -131,6 +157,12 @@ constexpr std::array<SolverInfo, 7> kSolvers{{
     {"tree", "Observation A.1", "3 on forests, unit weights",
      {}, false, true, true,
      check_nothing, tree_bound, run_tree},
+    {"greedy-threshold", "LW10 baseline", "O(a log Delta), unit weights",
+     {.alpha = true}, false, false, true,
+     check_alpha, greedy_threshold_bound, run_greedy_threshold},
+    {"greedy-election", "LW10 baseline", "heuristic, no worst-case bound",
+     {}, false, false, true,
+     check_nothing, greedy_election_bound, run_greedy_election},
 }};
 
 }  // namespace
@@ -164,12 +196,17 @@ const SolverInfo& solver(std::string_view name) {
 MdsResult run_solver(std::string_view name, const WeightedGraph& wg,
                      const SolverParams& params, const CongestConfig& config) {
   const SolverInfo& info = solver(name);
+  ARBODS_CHECK_MSG(params.threads >= -1,
+                   "threads must be >= -1 (-1 = inherit, 0 = hardware), got "
+                       << params.threads);
   info.check_params(params);
   if (info.forests_only) {
     ARBODS_CHECK_MSG(is_forest(wg.graph()),
                      "solver '" << name << "' requires a forest");
   }
-  return info.run(wg, params, config);
+  CongestConfig cfg = config;
+  if (params.threads >= 0) cfg.threads = params.threads;
+  return info.run(wg, params, cfg);
 }
 
 }  // namespace arbods::harness

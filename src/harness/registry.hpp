@@ -23,9 +23,14 @@ struct SolverParams {
   double eps = 0.25;     // slack, in (0, 1)
   std::int64_t t = 2;    // Theorem 1.2 round/quality trade-off (>= 1)
   int k = 2;             // Theorem 1.3 round/quality trade-off (>= 1)
+  /// Simulator worker-pool width: > 0 explicit, 0 = all hardware
+  /// threads, -1 = inherit CongestConfig::threads (the default). Results
+  /// are bit-identical for every width.
+  int threads = -1;
 };
 
-/// Which SolverParams fields a solver consumes.
+/// Which SolverParams fields a solver consumes. `threads` is consumed by
+/// every solver (they all run on the simulator), so it has no flag here.
 struct ParamSchema {
   bool alpha = false;
   bool eps = false;

@@ -1,0 +1,226 @@
+// Differential test: the flat-buffer double-buffered Network against a
+// retained minimal reference delivery loop (the pre-refactor semantics:
+// one growable outbox/inbox vector per node, swapped between rounds).
+//
+// Both simulators drive the same scripted randomized protocol — every
+// node broadcasts a quantized random real each round and coin-flips a
+// directed probe to a random neighbor — using identical per-node RNG
+// streams. The per-node delivery traces (round, sender, tag, payload),
+// the round count, the message count and the exact total bit volume must
+// agree, at every worker-pool width.
+//
+// Delivery-order contract encoded here: messages in an inbox arrive
+// ordered by sender id (adjacency lists are sorted and each node emits
+// its round's sends in one pass), with per-sender send order preserved.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+
+namespace arbods {
+namespace {
+
+constexpr int kTagValue = 1;
+constexpr int kTagProbe = 2;
+constexpr std::int64_t kSendRounds = 12;
+
+struct Delivery {
+  std::int64_t round;
+  NodeId sender;
+  int tag;
+  std::int64_t level;
+  double real;  // quantized payload (kTagValue) or -1
+  NodeId id;    // probe payload (kTagProbe) or kInvalidNode
+
+  friend bool operator==(const Delivery&, const Delivery&) = default;
+};
+
+using Trace = std::vector<std::vector<Delivery>>;  // per receiver
+
+Delivery record(std::int64_t round, const Message& m) {
+  Delivery d{round, m.sender(), m.tag(), 0, -1.0, kInvalidNode};
+  if (d.tag == kTagValue) {
+    d.level = m.level_at(1);
+    d.real = m.real_at(2);
+  } else {
+    d.id = m.id_at(1);
+  }
+  return d;
+}
+
+// The scripted per-node round action, shared verbatim by both simulators:
+// draws from the node's RNG in a fixed order, then emits one broadcast
+// and (on a coin flip) one directed probe.
+template <typename BroadcastFn, typename SendFn>
+void scripted_sends(NodeId v, std::int64_t round, std::span<const NodeId> nb,
+                    Rng& rng, BroadcastFn&& bcast, SendFn&& probe) {
+  const double x = rng.next_double();
+  bcast(Message::tagged(kTagValue).add_level(round & 7).add_real(x));
+  if (!nb.empty() && rng.next_bernoulli(0.5)) {
+    const NodeId to = nb[rng.next_below(nb.size())];
+    probe(to, Message::tagged(kTagProbe).add_id(v));
+  }
+}
+
+// ------------------------------------------------- reference delivery loop
+
+struct ReferenceStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t total_bits = 0;
+  int max_message_bits = 0;
+};
+
+// Minimal pre-refactor delivery loop: per-node message vectors, swapped
+// between rounds, chronological send order (which equals sender order
+// because the driver processes nodes in ascending id order).
+ReferenceStats run_reference(const WeightedGraph& wg,
+                             const MessageSizeModel& model,
+                             std::uint64_t seed, Trace& trace) {
+  const NodeId n = wg.num_nodes();
+  const auto& codec = default_value_codec();
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  Rng base(seed);
+  for (NodeId v = 0; v < n; ++v) rngs.push_back(base.split(v));
+
+  std::vector<std::vector<Message>> inboxes(n), outboxes(n);
+  ReferenceStats stats;
+  trace.assign(n, {});
+
+  // Senders tracked alongside each outbox entry (the reference loop has no
+  // access to Message's private sender field).
+  std::vector<std::vector<NodeId>> out_senders(n), in_senders(n);
+
+  for (std::int64_t round = 1; round <= kSendRounds + 1; ++round) {
+    ++stats.rounds;
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < inboxes[v].size(); ++i) {
+        Delivery d = record(round, inboxes[v][i]);
+        d.sender = in_senders[v][i];
+        trace[v].push_back(d);
+      }
+    }
+    if (round <= kSendRounds) {
+      for (NodeId v = 0; v < n; ++v) {
+        scripted_sends(
+            v, round, wg.graph().neighbors(v), rngs[v],
+            [&](Message m) {
+              for (NodeId to : wg.graph().neighbors(v)) {
+                Message copy = m;
+                copy.quantize_reals(codec);
+                const int bits = copy.bit_size(model);
+                ++stats.messages;
+                stats.total_bits += bits;
+                stats.max_message_bits =
+                    std::max(stats.max_message_bits, bits);
+                out_senders[to].push_back(v);
+                outboxes[to].push_back(std::move(copy));
+              }
+            },
+            [&](NodeId to, Message m) {
+              m.quantize_reals(codec);
+              const int bits = m.bit_size(model);
+              ++stats.messages;
+              stats.total_bits += bits;
+              stats.max_message_bits = std::max(stats.max_message_bits, bits);
+              out_senders[to].push_back(v);
+              outboxes[to].push_back(std::move(m));
+            });
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      inboxes[v].clear();
+      in_senders[v].clear();
+      std::swap(inboxes[v], outboxes[v]);
+      std::swap(in_senders[v], out_senders[v]);
+    }
+  }
+  return stats;
+}
+
+// ------------------------------------------------------ Network-side algo
+
+class ScriptedAlgorithm final : public DistributedAlgorithm {
+ public:
+  Trace trace;
+
+  void initialize(Network& net) override {
+    trace.assign(net.num_nodes(), {});
+  }
+
+  void process_round(Network& net) override {
+    const std::int64_t round = net.current_round();
+    net.for_nodes([&](NodeId v) {
+      for (const Message& m : net.inbox(v)) trace[v].push_back(record(round, m));
+      if (round <= kSendRounds) {
+        scripted_sends(
+            v, round, net.neighbors(v), net.rng(v),
+            [&](Message m) { net.broadcast(v, std::move(m)); },
+            [&](NodeId to, Message m) { net.send(v, to, std::move(m)); });
+      }
+    });
+  }
+
+  bool finished(const Network& net) const override {
+    return net.current_round() >= kSendRounds + 1;
+  }
+};
+
+// ---------------------------------------------------------------- the test
+
+void expect_differential_match(const WeightedGraph& wg, std::uint64_t seed,
+                               int threads) {
+  CongestConfig cfg;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  Network net(wg, cfg);
+
+  Trace ref_trace;
+  const ReferenceStats ref =
+      run_reference(wg, net.size_model(), seed, ref_trace);
+
+  ScriptedAlgorithm algo;
+  const RunStats stats = net.run(algo, 1000);
+
+  EXPECT_EQ(stats.rounds, ref.rounds);
+  EXPECT_EQ(stats.messages, ref.messages);
+  EXPECT_EQ(stats.total_bits, ref.total_bits);
+  EXPECT_EQ(stats.max_message_bits, ref.max_message_bits);
+  ASSERT_EQ(algo.trace.size(), ref_trace.size());
+  for (NodeId v = 0; v < wg.num_nodes(); ++v) {
+    EXPECT_EQ(algo.trace[v], ref_trace[v]) << "trace mismatch at node " << v
+                                           << " (threads=" << threads << ")";
+  }
+}
+
+TEST(Differential, FlatBuffersMatchReferenceOnRandomGraphs) {
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    Rng rng(seed);
+    const NodeId n = 200;
+    WeightedGraph wg(gen::erdos_renyi_gnp(n, 6.0 / n, rng),
+                     std::vector<Weight>(n, 1));
+    expect_differential_match(wg, seed * 1000, 1);
+    expect_differential_match(wg, seed * 1000, 8);
+  }
+}
+
+TEST(Differential, FlatBuffersMatchReferenceOnScaleFreeAndTrees) {
+  Rng rng(77);
+  WeightedGraph ba = WeightedGraph::uniform(gen::barabasi_albert(150, 2, rng));
+  WeightedGraph tree =
+      WeightedGraph::uniform(gen::random_tree_prufer(180, rng));
+  for (const int threads : {1, 8}) {
+    expect_differential_match(ba, 501, threads);
+    expect_differential_match(tree, 502, threads);
+  }
+}
+
+}  // namespace
+}  // namespace arbods

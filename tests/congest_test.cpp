@@ -231,5 +231,129 @@ TEST(Network, WeightBitsReflectMaxWeight) {
   EXPECT_EQ(net.size_model().weight_bits, 7);  // 100 needs 7 bits
 }
 
+// ------------------------------------------------- worker pool / for_nodes
+
+TEST(Network, ForNodesVisitsEveryNodeExactlyOnce) {
+  auto wg = WeightedGraph::uniform(gen::grid(13, 11));
+  CongestConfig cfg;
+  cfg.threads = 8;
+  Network net(wg, cfg);
+  EXPECT_EQ(net.num_workers(), 8);
+  NodeFlags visits(wg.num_nodes(), 0);
+  net.for_nodes([&](NodeId v) { ++visits[v]; });
+  for (NodeId v = 0; v < wg.num_nodes(); ++v) EXPECT_EQ(visits[v], 1u);
+}
+
+TEST(Network, WorkerCountClampsToNodesAndHardware) {
+  auto tiny = WeightedGraph::uniform(gen::path(3));
+  CongestConfig cfg;
+  cfg.threads = 64;
+  Network net(tiny, cfg);
+  EXPECT_EQ(net.num_workers(), 3);  // never more workers than nodes
+  cfg.threads = 0;                  // hardware_concurrency, at least 1
+  Network hw(tiny, cfg);
+  EXPECT_GE(hw.num_workers(), 1);
+}
+
+// Every node broadcasts for a fixed number of rounds; the exact expected
+// message/bit counts catch torn or dropped statistics when the counters
+// are accumulated from the worker pool.
+class BroadcastStorm final : public DistributedAlgorithm {
+ public:
+  static constexpr std::int64_t kRounds = 8;
+
+  void initialize(Network&) override {}
+
+  void process_round(Network& net) override {
+    if (net.current_round() > kRounds) return;
+    net.for_nodes([&](NodeId v) {
+      net.broadcast(v, Message::tagged(1).add_id(v));
+    });
+  }
+
+  bool finished(const Network& net) const override {
+    return net.current_round() > kRounds;
+  }
+};
+
+TEST(Network, ParallelStatsAccountingIsExactAndRaceFree) {
+  auto wg = WeightedGraph::uniform(gen::grid(32, 32));  // m = 1984
+  const std::int64_t directed = 2 * static_cast<std::int64_t>(
+      wg.graph().num_edges());
+
+  CongestConfig serial_cfg;
+  serial_cfg.threads = 1;
+  Network serial_net(wg, serial_cfg);
+  BroadcastStorm serial_algo;
+  const RunStats serial = serial_net.run(serial_algo, 100);
+
+  CongestConfig wide_cfg;
+  wide_cfg.threads = 8;
+  Network wide_net(wg, wide_cfg);
+  BroadcastStorm wide_algo;
+  const RunStats wide = wide_net.run(wide_algo, 100);
+
+  const int per_msg =
+      serial_net.size_model().tag_bits + serial_net.size_model().id_bits;
+  EXPECT_EQ(serial.messages, BroadcastStorm::kRounds * directed);
+  EXPECT_EQ(serial.total_bits, serial.messages * per_msg);
+  EXPECT_EQ(serial.max_message_bits, per_msg);
+  EXPECT_TRUE(wide == serial);  // identical counters at any pool width
+}
+
+TEST(Network, CapViolationInsideWorkerPoolPropagates) {
+  auto wg = WeightedGraph::uniform(gen::path(8));
+  CongestConfig cfg;
+  cfg.threads = 4;
+  cfg.max_message_bits_override = 1;
+
+  class OversizeEverywhere final : public DistributedAlgorithm {
+   public:
+    void initialize(Network& net) override {
+      net.for_nodes([&](NodeId v) {
+        net.broadcast(v, Message::tagged(0).add_id(v));
+      });
+    }
+    void process_round(Network&) override {}
+    bool finished(const Network&) const override { return true; }
+  };
+
+  Network net(wg, cfg);
+  OversizeEverywhere algo;
+  EXPECT_THROW(net.run(algo, 10), CheckError);
+}
+
+// Two sends on the same edge in the same round land in one lane with the
+// send order preserved, after all broadcast deliveries of lower-id
+// senders (inbox order is sender-major).
+TEST(Network, InboxOrderIsSenderMajorWithinRound) {
+  auto wg = WeightedGraph::uniform(gen::star(4));  // hub 0, leaves 1..3
+
+  class TwoSends final : public DistributedAlgorithm {
+   public:
+    std::vector<int> hub_tags;
+    void initialize(Network& net) override {
+      net.send(2, 0, Message::tagged(5));
+      net.send(2, 0, Message::tagged(6));
+      net.send(1, 0, Message::tagged(7));
+    }
+    void process_round(Network& net) override {
+      for (const Message& m : net.inbox(0)) hub_tags.push_back(m.tag());
+    }
+    bool finished(const Network& net) const override {
+      return net.current_round() >= 1;
+    }
+  };
+
+  Network net(wg);
+  TwoSends algo;
+  const RunStats stats = net.run(algo, 5);
+  EXPECT_EQ(stats.messages, 3);
+  EXPECT_EQ(algo.hub_tags, (std::vector<int>{7, 5, 6}));
+  EXPECT_EQ(net.inbox(0).size(), 3u);
+  EXPECT_EQ(net.inbox(0).front().tag(), 7);
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
 }  // namespace
 }  // namespace arbods

@@ -25,8 +25,9 @@ WeightedGraph small_instance() {
 
 TEST(Registry, EveryExpectedNameResolvesAndIsUnique) {
   const std::vector<std::string_view> expected = {
-      "det",           "unweighted",    "randomized", "general",
-      "unknown-delta", "unknown-alpha", "tree"};
+      "det",           "unweighted",    "randomized",
+      "general",       "unknown-delta", "unknown-alpha",
+      "tree",          "greedy-threshold", "greedy-election"};
   EXPECT_EQ(all_solvers().size(), expected.size());
   std::set<std::string_view> seen;
   for (std::string_view name : expected) {
@@ -72,6 +73,10 @@ TEST(Registry, BadParamsAreRejectedPerSchema) {
   p = {};
   p.k = 0;
   EXPECT_THROW(run_solver("general", wg, p), CheckError);
+  p = {};
+  p.threads = -2;  // threads is validated for every solver (-1 = inherit)
+  EXPECT_THROW(run_solver("det", wg, p), CheckError);
+  EXPECT_THROW(run_solver("greedy-election", wg, p), CheckError);
 }
 
 TEST(Registry, SchemaOnlyGuardsDeclaredFields) {

@@ -87,6 +87,46 @@ TEST(Property, AllSolversValidAndWithinBoundOnRandomSmallGraphs) {
   }
 }
 
+TEST(Property, RunStatsInvariantsHoldForEverySolver) {
+  // Simulator accounting invariants, for every solver on seeded random
+  // graphs. A node may send at most one message per incident edge per
+  // round, so with 2|E| directed edges and one possible round-0 send
+  // burst from initialize(): messages <= (rounds + 1) * 2|E|. Every
+  // message is between 1 bit and the enforced CONGEST cap wide.
+  for (std::uint64_t seed = 40; seed <= 48; ++seed) {
+    const RandomInstance ri = random_instance(seed);
+    const auto directed_edges =
+        static_cast<std::int64_t>(2 * ri.wg.graph().num_edges());
+    for (const SolverInfo& info : all_solvers()) {
+      if (info.forests_only && !ri.forest) continue;
+      SolverParams params;
+      if (info.schema.alpha) params.alpha = ri.alpha;
+      CongestConfig cfg;
+      cfg.seed = 0xabc0000ULL + seed;
+      const MdsResult res = run_solver(info.name, ri.wg, params, cfg);
+      const RunStats& s = res.stats;
+      const int cap = congest_message_cap(cfg, ri.wg.num_nodes());
+
+      EXPECT_GE(s.rounds, 1) << info.name << " on " << ri.name;
+      EXPECT_FALSE(s.hit_round_limit) << info.name << " on " << ri.name;
+      EXPECT_LE(s.messages, (s.rounds + 1) * directed_edges)
+          << info.name << " on " << ri.name;
+      EXPECT_LE(s.max_message_bits, cap) << info.name << " on " << ri.name;
+      EXPECT_LE(s.total_bits,
+                s.messages * static_cast<std::int64_t>(cap))
+          << info.name << " on " << ri.name;
+      EXPECT_GE(s.total_bits, s.messages)  // every message is >= 1 bit
+          << info.name << " on " << ri.name;
+      if (s.messages > 0) {
+        EXPECT_GT(s.max_message_bits, 0) << info.name << " on " << ri.name;
+        EXPECT_LE(static_cast<std::int64_t>(s.max_message_bits),
+                  s.total_bits)
+            << info.name << " on " << ri.name;
+      }
+    }
+  }
+}
+
 TEST(Property, PackingLowerBoundNeverExceedsOpt) {
   for (std::uint64_t seed = 20; seed <= 26; ++seed) {
     const RandomInstance ri = random_instance(seed);
