@@ -7,13 +7,18 @@
 //
 //   exp12_scaling [--sizes 10000,50000,100000] [--threads 1,2,4,8]
 //                 [--solvers greedy-threshold] [--families tree,forest2,...]
-//                 [--seed S] [--smoke]
+//                 [--seed S] [--repeats N] [--smoke]
 //
 // Every (instance, solver) cell is run once per thread count on the SAME
 // cached instance; the simulator guarantees bit-identical MdsResults for
 // every width, which this binary re-checks (`identical` field) so a sweep
-// doubles as an end-to-end determinism audit at scale. `--smoke` is the
-// CI preset: one small instance, widths 1 and 4.
+// doubles as an end-to-end determinism audit at scale. With --repeats N a
+// cell is run N extra times after an untimed warm-up run and the reported
+// `seconds` is the median (every repeat is also determinism-checked), so
+// checked-in baselines such as BENCH_exp12.json track the perf trajectory
+// instead of scheduler noise. `--smoke` is the CI preset: one small
+// instance, widths 1 and 4.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -49,7 +54,7 @@ std::vector<int> split_ints(const std::string& csv) {
                "W1,W2,...]\n"
                "                     [--solvers name1,name2,...] [--families "
                "f1,f2,...]\n"
-               "                     [--seed S] [--smoke]\n";
+               "                     [--seed S] [--repeats N] [--smoke]\n";
   std::exit(2);
 }
 
@@ -61,6 +66,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> solvers = {"greedy-threshold"};
   std::vector<std::string> families = {"tree", "forest2", "ba3"};
   std::uint64_t seed = 12345;
+  int repeats = 1;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
@@ -75,12 +81,14 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--solvers")) solvers = split_list(need("--solvers"));
     else if (!std::strcmp(argv[i], "--families")) families = split_list(need("--families"));
     else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
+    else if (!std::strcmp(argv[i], "--repeats")) repeats = std::stoi(need("--repeats"));
     else if (!std::strcmp(argv[i], "--smoke")) {
       sizes = {10'000};
       threads = {1, 4};
       families = {"forest2"};
     } else usage();
   }
+  if (repeats < 1) repeats = 1;
 
   const auto corpus = harness::scaling_corpus();
   std::cout << "[\n";
@@ -104,20 +112,31 @@ int main(int argc, char** argv) {
         params.threads = w;
         CongestConfig cfg;
         cfg.seed = seed;
-        Stopwatch timer;
-        const MdsResult res =
-            harness::run_solver(solver_name, inst.wg, params, cfg);
-        const double seconds = timer.elapsed_seconds();
-
+        // Warm-up run (untimed) when repeating, then median-of-N timing;
+        // every repeat must reproduce the same result bit-for-bit.
         bool identical = true;
-        if (!have_reference) {
-          reference = res;
-          have_reference = true;
-        } else {
-          identical = res.dominating_set == reference.dominating_set &&
-                      res.weight == reference.weight &&
-                      res.stats == reference.stats;
+        MdsResult res;
+        std::vector<double> samples;
+        samples.reserve(static_cast<std::size_t>(repeats));
+        for (int rep = 0; rep < (repeats > 1 ? repeats + 1 : repeats); ++rep) {
+          Stopwatch timer;
+          MdsResult run =
+              harness::run_solver(solver_name, inst.wg, params, cfg);
+          const double seconds = timer.elapsed_seconds();
+          const bool warmup = repeats > 1 && rep == 0;
+          if (!warmup) samples.push_back(seconds);
+          if (!have_reference) {
+            reference = run;
+            have_reference = true;
+          } else {
+            identical &= run.dominating_set == reference.dominating_set &&
+                         run.weight == reference.weight &&
+                         run.stats == reference.stats;
+          }
+          res = std::move(run);
         }
+        std::sort(samples.begin(), samples.end());
+        const double seconds = samples[samples.size() / 2];
 
         if (!first_row) std::cout << ",\n";
         first_row = false;
@@ -126,6 +145,7 @@ int main(int argc, char** argv) {
                   << ", \"m\": " << inst.wg.graph().num_edges()
                   << ", \"solver\": \"" << solver_name
                   << "\", \"threads\": " << w << ", \"seconds\": " << seconds
+                  << ", \"repeats\": " << repeats
                   << ", \"rounds\": " << res.stats.rounds
                   << ", \"messages\": " << res.stats.messages
                   << ", \"total_bits\": " << res.stats.total_bits

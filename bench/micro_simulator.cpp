@@ -1,7 +1,10 @@
-// M1 — google-benchmark micro-benchmarks: simulator round throughput and
-// end-to-end solver cost per node.
+// M1 — google-benchmark micro-benchmarks: wire-format encode/decode,
+// simulator round throughput and end-to-end solver cost per node.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "congest/message.hpp"
 #include "core/solvers.hpp"
 #include "gen/arboricity_families.hpp"
 #include "gen/random_graphs.hpp"
@@ -10,6 +13,54 @@
 
 namespace arbods {
 namespace {
+
+// ------------------------------------------------------------- wire format
+
+// Encode throughput for the typical solver record (tag + id + real).
+void BM_WireEncode(benchmark::State& state) {
+  MessageSizeModel model;
+  model.id_bits = 17;
+  Message m = Message::tagged(3);
+  m.add_id(54321).add_real(0.37);
+  std::vector<std::uint64_t> buf(wire_words_bound(m));
+  std::int64_t bits_total = 0;
+  for (auto _ : state) {
+    int bits = 0;
+    const std::size_t words = wire_encode(m, 99, model, true, buf.data(), &bits);
+    benchmark::DoNotOptimize(words);
+    bits_total += bits;
+  }
+  benchmark::DoNotOptimize(bits_total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireEncode);
+
+// Cursor walk over a lane of packed records: tag dispatch plus one typed
+// field read per message, the receiver-side hot loop.
+void BM_WireDecodeCursor(benchmark::State& state) {
+  MessageSizeModel model;
+  model.id_bits = 17;
+  constexpr int kMessages = 64;
+  Message m = Message::tagged(3);
+  m.add_id(54321).add_real(0.37);
+  const std::size_t words = wire_words(m, model, true);
+  std::vector<std::uint64_t> lane(words * kMessages);
+  for (int i = 0; i < kMessages; ++i)
+    wire_encode(m, static_cast<NodeId>(i), model, true,
+                lane.data() + words * static_cast<std::size_t>(i));
+  for (auto _ : state) {
+    double sum = 0;
+    std::size_t off = 0;
+    while (off < lane.size()) {
+      const MessageView view(lane.data() + off, &model, true);
+      if (view.tag() == 3) sum += view.real_at(2);
+      off += view.words();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+BENCHMARK(BM_WireDecodeCursor);
 
 void BM_NetworkBroadcastRound(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));
@@ -26,7 +77,7 @@ void BM_NetworkBroadcastRound(benchmark::State& state) {
     void process_round(Network& net) override {
       for (NodeId v = 0; v < net.num_nodes(); ++v) {
         double sum = 0;
-        for (const Message& m : net.inbox(v)) sum += m.real_at(1);
+        for (const MessageView m : net.inbox(v)) sum += m.real_at(1);
         benchmark::DoNotOptimize(sum);
         net.broadcast(v, Message::tagged(0).add_real(0.5));
       }
@@ -43,6 +94,45 @@ void BM_NetworkBroadcastRound(benchmark::State& state) {
                           static_cast<std::int64_t>(wg.graph().num_edges()) * 2);
 }
 BENCHMARK(BM_NetworkBroadcastRound)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+// Same flood through the active-set scheduler (every node re-arms), which
+// is the steady-state shape of the ported solvers: measures the packed
+// wire format plus worklist rebuild per delivered message.
+void BM_NetworkFloodActiveSet(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(6);
+  Graph g = gen::k_tree_union(n, 3, rng);
+  WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+
+  class ActiveFlood final : public DistributedAlgorithm {
+   public:
+    void initialize(Network& net) override {
+      net.for_nodes([&](NodeId v) {
+        net.broadcast(v, Message::tagged(0).add_real(0.5));
+        net.arm(v);
+      });
+    }
+    void process_round(Network& net) override {
+      net.for_active_nodes([&](NodeId v) {
+        double sum = 0;
+        for (const MessageView m : net.inbox(v)) sum += m.real_at(1);
+        benchmark::DoNotOptimize(sum);
+        net.broadcast(v, Message::tagged(0).add_real(0.5));
+        net.arm(v);
+      });
+    }
+    bool finished(const Network&) const override { return false; }
+  };
+
+  for (auto _ : state) {
+    Network net(wg);
+    ActiveFlood algo;
+    net.run(algo, 10);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 *
+                          static_cast<std::int64_t>(wg.graph().num_edges()) * 2);
+}
+BENCHMARK(BM_NetworkFloodActiveSet)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
 
 void BM_SolveDeterministic(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));

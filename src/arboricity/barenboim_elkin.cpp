@@ -52,7 +52,7 @@ void BarenboimElkinOrientation::process_round(Network& net) {
   // First absorb last round's retirement announcements, then decide from
   // the updated local active degree, then broadcast one 1-bit flag.
   for (NodeId v = 0; v < n; ++v) {
-    for (const Message& m : net.inbox(v)) {
+    for (const MessageView m : net.inbox(v)) {
       if (m.tag() == 0 && m.flag_at(1)) {
         ARBODS_CHECK(active_degree_[v] > 0);
         --active_degree_[v];

@@ -38,14 +38,17 @@ class ThresholdGreedyMds final : public DistributedAlgorithm {
  private:
   enum class Stage { kJoin, kCoverUpdate, kDone };
 
-  void recount_uncovered(const Network& net);
+  void reduce_covered();
+  std::int64_t join_round_for(NodeId ucd) const;
 
   Stage stage_ = Stage::kJoin;
   std::int64_t phase_ = 0;
   std::int64_t max_phase_ = 0;
+  NodeId delta_plus_1_ = 1;
   NodeFlags in_set_;
   NodeFlags covered_;
   std::vector<NodeId> uncovered_degree_;  // |N+(v) ∩ uncovered|
+  std::vector<WorkerCounter> covered_delta_;  // per-worker cover events
   NodeId num_uncovered_ = 0;
 };
 
@@ -66,13 +69,14 @@ class ElectionGreedyMds final : public DistributedAlgorithm {
  private:
   enum class Stage { kUncov, kCount, kNominate, kJoin, kDone };
 
-  void recount_uncovered(const Network& net);
+  void reduce_covered();
 
   Stage stage_ = Stage::kUncov;
   NodeFlags in_set_;
   NodeFlags covered_;
   NodeFlags self_nominated_;
   std::vector<NodeId> uncovered_degree_;
+  std::vector<WorkerCounter> covered_delta_;  // per-worker cover events
   NodeId num_uncovered_ = 0;
 };
 

@@ -1,0 +1,48 @@
+// Non-owning reference to a callable.
+//
+// Used on the simulator's dispatch hot path instead of std::function, whose
+// construction heap-allocates whenever the capture list exceeds the
+// implementation's small-buffer size — that would be one allocation per
+// parallel section per round. A FunctionRef is two words, never allocates,
+// and the referenced callable only needs to outlive the synchronous call
+// chain it is passed down.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace arbods {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference; calling it is undefined. Exists so callers can store a
+  /// FunctionRef member and publish a real one before each dispatch.
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by design
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return call_(ctx_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace arbods

@@ -1,16 +1,45 @@
-// CONGEST messages with explicit bit accounting.
+// CONGEST messages with explicit bit accounting, and their packed wire
+// format.
 //
 // A message is a sequence of typed fields. Field widths come from a
 // MessageSizeModel derived from the instance (ids: ceil(log2 n) bits,
 // weights: bits of the max weight, etc.), so a message's size in bits is
 // well-defined and the Network can enforce the CONGEST O(log n) cap.
 //
+// Two representations exist:
+//
+//   * `Message` — the sender-side builder. Fields live in a small inline
+//     array (no heap allocation for <= kInlineFields fields; a vector
+//     overflow keeps larger diagnostic messages working). A Message never
+//     crosses the network as an object.
+//   * the wire format — at send time the Network bit-packs the fields into
+//     a flat std::uint64_t arena using exactly the MessageSizeModel widths,
+//     so the CONGEST bit accounting is the wire length by construction.
+//     Receivers read through `MessageView`, a two-pointer cursor over the
+//     arena with the same typed accessors as Message; no per-message object
+//     is ever materialized on the delivery path.
+//
+// Wire layout of one message (64-bit little-endian words, each message
+// word-aligned so a cursor can hop records in O(1)):
+//
+//   word 0        sender id (32) | field count (16) | total words (16)
+//   kind words    ceil(nf/16) words of 4-bit FieldKind nibbles
+//   payload       bit-packed field values; integer kinds use the model
+//                 width, reals use the fixed-point codec encoding (or the
+//                 raw 64-bit double when quantization is disabled)
+//
+// The header and kind nibbles are simulator bookkeeping and do not count
+// toward the CONGEST bit volume; `wire_payload_bits` (== Message::bit_size
+// under the same model when quantization is on) is what the Network
+// accounts and caps.
+//
 // Real-valued fields carry packing values. They are quantized through
-// FixedPointCodec at send time — receivers observe only the quantized
-// value, so an algorithm cannot smuggle extra information through the
-// mantissa of a double.
+// FixedPointCodec at send time — the wire carries the codec's bits, so a
+// receiver observes only the quantized value and an algorithm cannot
+// smuggle extra information through the mantissa of a double.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -46,8 +75,13 @@ struct Field {
   double rvalue = 0.0;      // used by kReal
 };
 
+/// Sender-side message builder. Cheap to construct and move: fields are
+/// stored inline (no heap) up to kInlineFields; only oversized diagnostic
+/// messages (cap-enforcement tests and the like) spill to a vector.
 class Message {
  public:
+  static constexpr std::size_t kInlineFields = 8;
+
   Message() = default;
 
   /// Tags let one algorithm multiplex message types; by convention the tag
@@ -60,7 +94,7 @@ class Message {
   Message& add_flag(bool b);
   Message& add_real(double x);
 
-  std::size_t num_fields() const { return fields_.size(); }
+  std::size_t num_fields() const { return size_; }
 
   /// Typed accessors; kind mismatches are contract violations.
   int tag() const;  // tag of field 0 (kTag); -1 if untagged
@@ -70,20 +104,96 @@ class Message {
   bool flag_at(std::size_t i) const;
   double real_at(std::size_t i) const;
 
-  NodeId sender() const { return sender_; }
+  /// Raw field access (bounds-checked); used by the wire encoder.
+  const Field& field(std::size_t i) const;
+  FieldKind kind_at(std::size_t i) const { return field(i).kind; }
 
   /// Total width under the given model.
   int bit_size(const MessageSizeModel& model) const;
 
-  /// Rounds every real field through the codec (called by the Network).
+  /// Rounds every real field through the codec. The Network's wire encoder
+  /// quantizes implicitly; this mutating variant exists for reference
+  /// delivery loops and tests that bypass the wire format.
   void quantize_reals(const FixedPointCodec& codec);
 
  private:
-  friend class Network;
-  NodeId sender_ = kInvalidNode;
-  std::vector<Field> fields_;
-
+  Message& push(const Field& f);
   const Field& field_checked(std::size_t i, FieldKind kind) const;
+
+  std::uint32_t size_ = 0;
+  std::array<Field, kInlineFields> inline_{};
+  std::vector<Field> overflow_;  // fields beyond kInlineFields (rare)
+};
+
+// ---------------------------------------------------------------------------
+// Packed wire format.
+
+/// Bits field `kind` occupies in the wire payload. Equal to the model width
+/// for every kind except kReal with quantization disabled, which ships the
+/// raw 64-bit double (the *accounted* size still uses the model width, as
+/// it always has).
+int wire_field_bits(FieldKind kind, const MessageSizeModel& model,
+                    bool quantized_reals);
+
+/// CONGEST-accounted payload bits of `m` (== m.bit_size(model)).
+int wire_payload_bits(const Message& m, const MessageSizeModel& model);
+
+/// Total 64-bit words the wire record of `m` occupies (header + kinds +
+/// payload).
+std::size_t wire_words(const Message& m, const MessageSizeModel& model,
+                       bool quantized_reals);
+
+/// Upper bound on wire_words(m) computable without scanning fields
+/// (every stored field width is <= 64 bits). For sizing encode scratch.
+inline std::size_t wire_words_bound(const Message& m) {
+  const std::size_t nf = m.num_fields();
+  return 1 + (nf + 15) / 16 + nf;
+}
+
+/// Encodes `m` into dst[0 .. wire_words(m)). Fully initializes every word
+/// it claims. Returns the number of words written; when accounted_bits is
+/// non-null, stores the CONGEST-accounted payload size (== bit_size under
+/// `model`) there — accounting is a by-product of encoding, not a second
+/// pass.
+std::size_t wire_encode(const Message& m, NodeId sender,
+                        const MessageSizeModel& model, bool quantized_reals,
+                        std::uint64_t* dst, int* accounted_bits = nullptr);
+
+/// Receiver-side cursor over one wire record. Two pointers and a flag;
+/// copying is free. Views are only valid for the round in which the inbox
+/// was delivered (the arena is recycled by the next round's flip).
+class MessageView {
+ public:
+  MessageView(const std::uint64_t* words, const MessageSizeModel* model,
+              bool quantized_reals)
+      : words_(words), model_(model), quantized_(quantized_reals) {}
+
+  NodeId sender() const { return static_cast<NodeId>(words_[0] & 0xffffffffu); }
+  std::size_t num_fields() const {
+    return static_cast<std::size_t>((words_[0] >> 32) & 0xffffu);
+  }
+  /// Total record length in words (cursor hop to the next message).
+  std::size_t words() const {
+    return static_cast<std::size_t>((words_[0] >> 48) & 0xffffu);
+  }
+
+  FieldKind kind_at(std::size_t i) const;
+
+  /// Typed accessors; kind mismatches are contract violations, exactly as
+  /// on the builder.
+  int tag() const;  // tag of field 0 (kTag); -1 if untagged
+  NodeId id_at(std::size_t i) const;
+  Weight weight_at(std::size_t i) const;
+  std::int64_t level_at(std::size_t i) const;
+  bool flag_at(std::size_t i) const;
+  double real_at(std::size_t i) const;
+
+ private:
+  std::uint64_t payload_bits_at(std::size_t i, FieldKind kind) const;
+
+  const std::uint64_t* words_;
+  const MessageSizeModel* model_;
+  bool quantized_;
 };
 
 }  // namespace arbods

@@ -1,6 +1,7 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <thread>
 
@@ -12,12 +13,27 @@ namespace arbods {
 namespace {
 
 // Which worker slot the current thread accounts sends/statistics to.
-// Worker threads set this for the duration of a run_node_chunks section;
+// Worker threads set this for the duration of a run_index_chunks section;
 // everywhere else it is 0, the calling thread's slot. Networks clamp the
 // value to their own pool width (worker_slot below), so a Network driven
 // from inside another Network's worker section — which inherits the outer
 // worker's index — safely accounts to its own slot 0.
 thread_local int tls_worker = 0;
+
+// Post-run shrink for per-worker scratch vectors: a run that once touched
+// millions of lanes must not pin that capacity for the lifetime of the
+// Network. Contents are preserved (the touched lists still describe lanes
+// the next run() has to clear).
+template <typename T>
+void maybe_shrink(std::vector<T>& v, std::size_t used) {
+  const std::size_t target = std::max<std::size_t>(2 * used, 64);
+  if (v.capacity() > 1024 && v.capacity() / 4 > target) {
+    std::vector<T> tmp;
+    tmp.reserve(std::max(target, v.size()));
+    tmp.assign(v.begin(), v.end());
+    v.swap(tmp);
+  }
+}
 
 }  // namespace
 
@@ -30,8 +46,7 @@ int congest_message_cap(const CongestConfig& config, NodeId n) {
 
 std::size_t InboxView::size() const {
   std::size_t count = 0;
-  for (std::size_t lane = first_lane_; lane != end_lane_; ++lane)
-    count += (*lanes_)[lane].size();
+  for (const_iterator it = begin(); it != end(); ++it) ++count;
   return count;
 }
 
@@ -47,7 +62,8 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
   size_model_.real_bits = default_value_codec().bit_width();
   max_message_bits_ = congest_message_cap(config_, n);
 
-  // CSR arc offsets and the mirror permutation (out-arc -> receiver lane).
+  // CSR arc offsets, the mirror permutation (out-arc -> receiver lane) and
+  // the lane -> receiver map.
   offsets_.resize(static_cast<std::size_t>(n) + 1);
   offsets_[0] = 0;
   for (NodeId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + g.degree(v);
@@ -55,21 +71,46 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
   ARBODS_CHECK_MSG(arcs < std::numeric_limits<EdgeSlot>::max(),
                    "graph too large for 32-bit edge slots");
   mirror_.resize(arcs);
+  lane_receiver_.resize(arcs);
+  // O(arcs) mirror build, no binary searches: sweeping v in ascending
+  // order enumerates the in-arcs of every u in ascending source order,
+  // which is exactly the order of u's (sorted) lane slots — so a per-node
+  // cursor yields each arc's receiver-side rank directly.
+  std::vector<EdgeSlot> cursor(n, 0);
   for (NodeId v = 0; v < n; ++v) {
     const auto nb = g.neighbors(v);
     for (std::size_t i = 0; i < nb.size(); ++i) {
       const NodeId u = nb[i];
-      const auto unb = g.neighbors(u);
-      const auto it = std::lower_bound(unb.begin(), unb.end(), v);
       mirror_[offsets_[v] + i] =
-          static_cast<EdgeSlot>(offsets_[u] +
-                                static_cast<std::size_t>(it - unb.begin()));
+          static_cast<EdgeSlot>(offsets_[u] + cursor[u]++);
     }
+    for (std::size_t l = offsets_[v]; l < offsets_[v + 1]; ++l)
+      lane_receiver_[l] = v;
   }
-  buf_a_.resize(arcs);
-  buf_b_.resize(arcs);
-  in_ = &buf_a_;
-  out_ = &buf_b_;
+
+  // Uniform initial lane regions: the length word plus room for one
+  // cap-sized record (header + one kind word + cap payload). Lanes that
+  // overflow a round regrow individually at the next flip, so edges that
+  // regularly carry more settle at their own size after one round.
+  std::size_t base_words;
+  if (config_.lane_capacity_words_hint > 0) {
+    base_words = static_cast<std::size_t>(config_.lane_capacity_words_hint);
+  } else {
+    const std::size_t per_record =
+        2 + (static_cast<std::size_t>(max_message_bits_) + 63) / 64;
+    base_words = 1 + per_record;
+  }
+  lane_base_.resize(arcs + 1);
+  for (std::size_t l = 0; l <= arcs; ++l) lane_base_[l] = l * base_words;
+  arena_words_ = lane_base_[arcs];
+  arena_a_ = std::make_unique_for_overwrite<std::uint64_t[]>(arena_words_);
+  arena_b_ = std::make_unique_for_overwrite<std::uint64_t[]>(arena_words_);
+  for (std::size_t l = 0; l < arcs; ++l) {
+    arena_a_[lane_base_[l]] = 0;
+    arena_b_[lane_base_[l]] = 0;
+  }
+  in_arena_ = &arena_a_;
+  out_arena_ = &arena_b_;
 
   int workers = config_.threads;
   if (workers <= 0) {
@@ -81,7 +122,15 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
   worker_stats_.assign(static_cast<std::size_t>(workers), WorkerStats{});
   touched_out_.assign(static_cast<std::size_t>(workers), {});
   touched_in_.assign(static_cast<std::size_t>(workers), {});
+  spills_.assign(static_cast<std::size_t>(workers), WorkerSpill{});
+  scratch_.assign(static_cast<std::size_t>(workers), {});
+  for (auto& s : scratch_) s.reserve(std::max<std::size_t>(2 * base_words, 64));
+  calendars_.assign(static_cast<std::size_t>(workers), {});
+  for (auto& cal : calendars_) cal.ring.resize(16);
   if (workers > 1) pool_ = std::make_unique<WorkerPool>(workers);
+
+  active_mark_.assign(n, 0);
+  active_list_.reserve(64);
 
   node_rngs_.reserve(n);
   Rng base(config_.seed);
@@ -95,13 +144,15 @@ Rng& Network::rng(NodeId v) {
   return node_rngs_[v];
 }
 
-void Network::account(const Message& m) {
-  const int bits = m.bit_size(size_model_);
+void Network::check_cap(int bits) const {
   if (config_.enforce_message_size) {
     ARBODS_CHECK_MSG(bits <= max_message_bits_,
                      "CONGEST violation: message of " << bits << " bits > cap "
                                                       << max_message_bits_);
   }
+}
+
+void Network::account_bits(int bits) {
   WorkerStats& slot = worker_stats_[worker_slot()];
   ++slot.messages;
   slot.total_bits += bits;
@@ -113,64 +164,312 @@ std::size_t Network::worker_slot() const {
   return w < worker_stats_.size() ? w : 0;
 }
 
-void Network::deposit(std::size_t arc, Message&& m) {
-  const EdgeSlot lane = mirror_[arc];
-  std::vector<Message>& slot = (*out_)[lane];
-  if (slot.empty()) touched_out_[worker_slot()].push_back(lane);
-  slot.push_back(std::move(m));
+bool Network::lane_spilled(std::size_t worker, EdgeSlot lane) const {
+  const WorkerSpill& sp = spills_[worker];
+  if (sp.recs.empty()) return false;  // the steady-state answer
+  for (const SpillRec& r : sp.recs)
+    if (r.lane == lane) return true;
+  return false;
 }
 
-void Network::send(NodeId from, NodeId to, Message m) {
+int Network::deposit_encoded(EdgeSlot lane, const Message& m, NodeId sender) {
+  const std::size_t w = worker_slot();
+  // wire_words_bound is O(1); the exact size and the accounted bits fall
+  // out of the single encode pass below.
+  const std::size_t bound = wire_words_bound(m);
+  std::uint64_t* lane_words = out_arena_->get() + lane_base_[lane];
+  std::uint64_t& len = lane_words[0];
+  // Once a lane spills, later records must spill too or send order within
+  // the lane would be lost.
+  const bool spilled = lane_spilled(w, lane);
+  const std::size_t cap = lane_base_[lane + 1] - lane_base_[lane] - 1;
+  int bits = 0;
+  if (!spilled && len + bound <= cap) {
+    // Encode straight into the lane. The length word is only committed
+    // after the cap check, so an oversized message throws with no side
+    // effects (words beyond the length are never read).
+    const std::size_t need = wire_encode(
+        m, sender, size_model_, config_.quantize_reals, lane_words + 1 + len,
+        &bits);
+    check_cap(bits);
+    if (len == 0) touched_out_[w].push_back(lane);
+    len += need;
+  } else {
+    // Tight or spilled lane: encode into the worker scratch first, check,
+    // then route through the ordinary word-deposit path.
+    std::vector<std::uint64_t>& scratch = scratch_[w];
+    if (scratch.size() < bound) scratch.resize(bound);
+    const std::size_t need = wire_encode(
+        m, sender, size_model_, config_.quantize_reals, scratch.data(), &bits);
+    check_cap(bits);
+    deposit_words(w, lane, scratch.data(), need);
+  }
+  return bits;
+}
+
+void Network::deposit_words(std::size_t w, EdgeSlot lane,
+                            const std::uint64_t* words, std::size_t nwords) {
+  std::uint64_t* lane_words = out_arena_->get() + lane_base_[lane];
+  std::uint64_t& len = lane_words[0];
+  const bool spilled = lane_spilled(w, lane);
+  if (len == 0 && !spilled) touched_out_[w].push_back(lane);
+  const std::size_t cap = lane_base_[lane + 1] - lane_base_[lane] - 1;
+  if (!spilled && len + nwords <= cap) {
+    std::copy_n(words, nwords, lane_words + 1 + len);
+    len += nwords;
+  } else {
+    WorkerSpill& sp = spills_[w];
+    const std::size_t b = sp.words.size();
+    sp.words.insert(sp.words.end(), words, words + nwords);
+    sp.recs.push_back({lane, static_cast<std::uint32_t>(b),
+                       static_cast<std::uint32_t>(b + nwords)});
+  }
+}
+
+void Network::send(NodeId from, NodeId to, const Message& m) {
   const auto nb = graph().neighbors(from);
   const auto it = std::lower_bound(nb.begin(), nb.end(), to);
   ARBODS_CHECK_MSG(it != nb.end() && *it == to,
                    "send along non-edge (" << from << "," << to << ")");
-  if (config_.quantize_reals) m.quantize_reals(default_value_codec());
-  m.sender_ = from;
-  account(m);
-  deposit(offsets_[from] + static_cast<std::size_t>(it - nb.begin()),
-          std::move(m));
+  const std::size_t arc =
+      offsets_[from] + static_cast<std::size_t>(it - nb.begin());
+  account_bits(deposit_encoded(mirror_[arc], m, from));
 }
 
-void Network::broadcast(NodeId from, Message m) {
-  if (config_.quantize_reals) m.quantize_reals(default_value_codec());
-  m.sender_ = from;
+void Network::broadcast(NodeId from, const Message& m) {
   const std::size_t begin = offsets_[from];
   const std::size_t end = offsets_[from + 1];
-  for (std::size_t arc = begin; arc != end; ++arc) {
-    account(m);
-    if (arc + 1 == end) {
-      deposit(arc, std::move(m));
-      break;
-    }
-    deposit(arc, Message(m));
-  }
+  if (begin == end) return;
+  // Encode once into the worker's scratch — the CONGEST accounting falls
+  // out of the same pass — then copy words per lane; the statistics for
+  // the whole fan-out are folded into one slot update. The cap check runs
+  // before anything is deposited, so an oversized broadcast still throws
+  // without side effects.
+  const std::size_t w = worker_slot();
+  std::vector<std::uint64_t>& scratch = scratch_[w];
+  const std::size_t bound = wire_words_bound(m);
+  if (scratch.size() < bound) scratch.resize(bound);
+  int bits = 0;
+  const std::size_t need = wire_encode(m, from, size_model_,
+                                       config_.quantize_reals, scratch.data(),
+                                       &bits);
+  check_cap(bits);
+  for (std::size_t arc = begin; arc != end; ++arc)
+    deposit_words(w, mirror_[arc], scratch.data(), need);
+  const std::int64_t fanout = static_cast<std::int64_t>(end - begin);
+  WorkerStats& slot = worker_stats_[w];
+  slot.messages += fanout;
+  slot.total_bits += bits * fanout;
+  slot.max_message_bits = std::max(slot.max_message_bits, bits);
 }
 
 InboxView Network::inbox(NodeId v) const {
   ARBODS_DCHECK(v < num_nodes());
-  return InboxView(in_, offsets_[v], offsets_[v + 1]);
+  return InboxView(in_arena_->get(), lane_base_.data(), offsets_[v],
+                   offsets_[v + 1], &size_model_, config_.quantize_reals);
+}
+
+void Network::arm_at(NodeId v, std::int64_t round) {
+  ARBODS_DCHECK(v < num_nodes());
+  ARBODS_CHECK_MSG(round > round_,
+                   "arm_at(" << v << ", " << round << ") is not in the future"
+                             << " (current round " << round_ << ")");
+  WorkerCalendar& cal = calendars_[worker_slot()];
+  for (;;) {
+    CalendarBucket& bucket =
+        cal.ring[static_cast<std::size_t>(round) & (cal.ring.size() - 1)];
+    if (bucket.round == round) {
+      bucket.nodes.push_back(v);
+      return;
+    }
+    if (bucket.round <= round_) {  // empty or already drained: recycle
+      bucket.round = round;
+      bucket.nodes.clear();
+      bucket.nodes.push_back(v);
+      return;
+    }
+    // Collision with a different live round: double the ring and rehash
+    // the live buckets (amortized; the ring settles at the largest delay).
+    std::vector<CalendarBucket> bigger(cal.ring.size() * 2);
+    for (CalendarBucket& b : cal.ring) {
+      if (b.round <= round_) continue;
+      bigger[static_cast<std::size_t>(b.round) & (bigger.size() - 1)] =
+          std::move(b);
+    }
+    cal.ring = std::move(bigger);
+  }
 }
 
 void Network::flip_buffers() {
   // The in-buffer holds last round's (already consumed) messages; clear
   // exactly the lanes that were written, then promote the out-buffer.
+  std::uint64_t* in_words = in_arena_->get();
   for (auto& list : touched_in_) {
-    for (const EdgeSlot lane : list) (*in_)[lane].clear();
+    touched_highwater_ = std::max(touched_highwater_, list.size());
+    for (const EdgeSlot lane : list) in_words[lane_base_[lane]] = 0;
     list.clear();
   }
-  std::swap(in_, out_);
+  std::swap(in_arena_, out_arena_);
   std::swap(touched_in_, touched_out_);
+  bool any_spill = false;
+  for (const WorkerSpill& sp : spills_) any_spill |= !sp.recs.empty();
+  if (any_spill) merge_spills_and_grow();
+  // The active set is rebuilt lazily on first use within the round;
+  // algorithms that never touch the active-set API pay nothing here.
+  active_dirty_ = true;
+}
+
+void Network::merge_spills_and_grow() {
+  // Records that overflowed their lane last round, now sitting on the
+  // in-side after the swap. Each lane has a single writer, so all of a
+  // lane's chunks live in one worker's buffer in send order; a stable sort
+  // groups lanes without reordering chunks.
+  struct Chunk {
+    EdgeSlot lane;
+    const std::uint64_t* src;
+    std::size_t nwords;
+  };
+  std::vector<Chunk> chunks;
+  for (const WorkerSpill& sp : spills_)
+    for (const SpillRec& r : sp.recs)
+      chunks.push_back({r.lane, sp.words.data() + r.begin,
+                        static_cast<std::size_t>(r.end - r.begin)});
+  std::stable_sort(chunks.begin(), chunks.end(),
+                   [](const Chunk& a, const Chunk& b) { return a.lane < b.lane; });
+
+  // New layout: overflowed lanes at least double so repeated traffic on a
+  // chatty edge regrows O(log) times, then never again.
+  const std::size_t arcs = lane_receiver_.size();
+  std::vector<std::uint64_t> new_base(arcs + 1);
+  new_base[0] = 0;
+  const std::uint64_t* old_in = in_arena_->get();
+  std::size_t ci = 0;
+  for (std::size_t lane = 0; lane < arcs; ++lane) {
+    std::size_t cap = lane_base_[lane + 1] - lane_base_[lane];
+    std::size_t extra = 0;
+    for (std::size_t j = ci; j < chunks.size() && chunks[j].lane == lane; ++j)
+      extra += chunks[j].nwords;
+    if (extra > 0) {
+      const std::size_t needed = 1 + old_in[lane_base_[lane]] + extra;
+      cap = std::max(2 * cap, std::bit_ceil(needed));
+    }
+    while (ci < chunks.size() && chunks[ci].lane == lane) ++ci;
+    new_base[lane + 1] = new_base[lane] + cap;
+  }
+
+  // Rebuild both arenas under the new layout: zero every length word, copy
+  // the in-side's resident regions (length + records), then append each
+  // lane's spill chunks in order. The out-side is empty at this point (the
+  // flip just zeroed and swapped it), so its lanes only need zero lengths.
+  const std::size_t new_words = new_base[arcs];
+  auto new_in = std::make_unique_for_overwrite<std::uint64_t[]>(new_words);
+  auto new_out = std::make_unique_for_overwrite<std::uint64_t[]>(new_words);
+  for (std::size_t lane = 0; lane < arcs; ++lane) {
+    new_in[new_base[lane]] = 0;
+    new_out[new_base[lane]] = 0;
+  }
+  for (const auto& list : touched_in_)
+    for (const EdgeSlot lane : list)
+      std::copy_n(old_in + lane_base_[lane], 1 + old_in[lane_base_[lane]],
+                  new_in.get() + new_base[lane]);
+  for (const Chunk& c : chunks) {
+    std::uint64_t& len = new_in[new_base[c.lane]];
+    std::copy_n(c.src, c.nwords, new_in.get() + new_base[c.lane] + 1 + len);
+    len += c.nwords;
+  }
+  lane_base_ = std::move(new_base);
+  arena_words_ = new_words;
+  *in_arena_ = std::move(new_in);
+  *out_arena_ = std::move(new_out);
+  for (WorkerSpill& sp : spills_) {
+    sp.words.clear();
+    sp.recs.clear();
+  }
+}
+
+void Network::rebuild_active_set() {
+  active_dirty_ = false;
+  ++active_epoch_;
+  const std::uint64_t epoch = active_epoch_;
+  active_list_.clear();
+  for (const auto& list : touched_in_) {
+    for (const EdgeSlot lane : list) {
+      const NodeId v = lane_receiver_[lane];
+      if (active_mark_[v] != epoch) {
+        active_mark_[v] = epoch;
+        active_list_.push_back(v);
+      }
+    }
+  }
+  // Drain every worker's timer bucket that is due for the current round
+  // (the lazy rebuild runs from inside the round, after the advance).
+  const std::int64_t due = round_;
+  for (WorkerCalendar& cal : calendars_) {
+    CalendarBucket& bucket =
+        cal.ring[static_cast<std::size_t>(due) & (cal.ring.size() - 1)];
+    if (bucket.round != due) continue;
+    armed_highwater_ = std::max(armed_highwater_, bucket.nodes.size());
+    for (const NodeId v : bucket.nodes) {
+      if (active_mark_[v] != epoch) {
+        active_mark_[v] = epoch;
+        active_list_.push_back(v);
+      }
+    }
+    bucket.round = -1;
+    bucket.nodes.clear();
+  }
+  // Keep the worklist in ascending node order so chunked iteration touches
+  // per-node arrays (and the lane arena) as sequentially as a 0..n sweep —
+  // the list arrives in delivery order, which is cache-hostile when dense.
+  // Dense rounds re-extract from the marks with one sequential pass;
+  // sparse rounds sort the short list. Either way the order (not just the
+  // contents) is now independent of the pool width.
+  const std::size_t n = active_mark_.size();
+  if (active_list_.size() >= n / 8) {
+    active_scratch_.clear();
+    for (NodeId v = 0; v < n; ++v)
+      if (active_mark_[v] == epoch) active_scratch_.push_back(v);
+    active_list_.swap(active_scratch_);
+  } else {
+    std::sort(active_list_.begin(), active_list_.end());
+  }
+  active_highwater_ = std::max(active_highwater_, active_list_.size());
 }
 
 void Network::clear_all_lanes() {
   for (auto& list : touched_in_) {
-    for (const EdgeSlot lane : list) (*in_)[lane].clear();
+    for (const EdgeSlot lane : list) (*in_arena_)[lane_base_[lane]] = 0;
     list.clear();
   }
   for (auto& list : touched_out_) {
-    for (const EdgeSlot lane : list) (*out_)[lane].clear();
+    for (const EdgeSlot lane : list) (*out_arena_)[lane_base_[lane]] = 0;
     list.clear();
+  }
+  for (WorkerSpill& sp : spills_) {
+    sp.words.clear();
+    sp.recs.clear();
+  }
+  for (WorkerCalendar& cal : calendars_) {
+    for (CalendarBucket& bucket : cal.ring) {
+      bucket.round = -1;
+      bucket.nodes.clear();
+    }
+  }
+  active_list_.clear();
+  active_dirty_ = false;
+}
+
+void Network::shrink_scratch() {
+  for (auto& list : touched_in_) maybe_shrink(list, touched_highwater_);
+  for (auto& list : touched_out_) maybe_shrink(list, touched_highwater_);
+  for (WorkerCalendar& cal : calendars_)
+    for (CalendarBucket& bucket : cal.ring)
+      maybe_shrink(bucket.nodes, armed_highwater_);
+  maybe_shrink(active_list_, active_highwater_);
+  maybe_shrink(active_scratch_, active_highwater_);
+  for (WorkerSpill& sp : spills_) {
+    maybe_shrink(sp.words, 0);
+    maybe_shrink(sp.recs, 0);
   }
 }
 
@@ -188,30 +487,32 @@ void Network::reduce_stats() {
                    "RunStats counter overflow");
 }
 
-void Network::run_node_chunks(
-    const std::function<void(NodeId, NodeId)>& chunk_fn) {
-  const NodeId n = num_nodes();
+void Network::run_index_chunks(
+    std::size_t count, FunctionRef<void(std::size_t, std::size_t)> chunk_fn) {
   if (!pool_) {
-    chunk_fn(0, n);
+    chunk_fn(0, count);
     return;
   }
   const int workers = pool_->num_workers();
-  pool_->run([&](int w) {
+  auto worker_fn = [&](int w) {
     tls_worker = w;
-    const NodeId begin = static_cast<NodeId>(
-        static_cast<std::uint64_t>(n) * static_cast<unsigned>(w) / workers);
-    const NodeId end = static_cast<NodeId>(
-        static_cast<std::uint64_t>(n) * (static_cast<unsigned>(w) + 1) /
-        workers);
+    const std::size_t begin =
+        count * static_cast<std::size_t>(w) / static_cast<std::size_t>(workers);
+    const std::size_t end = count * (static_cast<std::size_t>(w) + 1) /
+                            static_cast<std::size_t>(workers);
     chunk_fn(begin, end);
     tls_worker = 0;
-  });
+  };
+  pool_->run(worker_fn);
 }
 
 RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {
   stats_ = RunStats{};
   for (WorkerStats& slot : worker_stats_) slot = WorkerStats{};
   round_ = 0;
+  touched_highwater_ = 0;
+  armed_highwater_ = 0;
+  active_highwater_ = 0;
   clear_all_lanes();
 
   algo.initialize(*this);
@@ -227,6 +528,7 @@ RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {
     algo.process_round(*this);
     reduce_stats();
   }
+  shrink_scratch();
   return stats_;
 }
 

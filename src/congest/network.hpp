@@ -13,36 +13,50 @@
 //     restricted to the NodeView API plus its own per-node state.
 //
 // Delivery internals (the scaling hot path):
-//   * Messages live in two flat per-directed-edge lane arrays indexed by
-//     CSR edge offsets and swapped between rounds (double buffering). The
-//     lane for a message from u to v sits inside v's contiguous CSR range,
-//     so inbox(v) is a scan of v's range and messages arrive ordered by
-//     sender id. A precomputed mirror permutation maps each outgoing arc
-//     to the receiver-side lane, so a send is an O(1) slot write.
+//   * Messages live bit-packed in two flat std::uint64_t arenas (double
+//     buffering; see message.hpp for the record layout). Each directed
+//     edge owns a fixed word region (a "lane") in both arenas, indexed by
+//     CSR edge offsets: the lane for a message u->v sits inside v's
+//     contiguous CSR range, so inbox(v) is a pointer walk over v's region
+//     and messages arrive ordered by sender id. A precomputed mirror
+//     permutation maps each outgoing arc to the receiver-side lane, so a
+//     send encodes straight into its destination region — no per-message
+//     heap object exists anywhere on the path, and a steady-state round
+//     performs zero allocations.
+//   * A lane that outgrows its region in one round spills to a per-worker
+//     side buffer; the next flip merges the spill back and permanently
+//     doubles that lane's region (amortized re-layout), so chatty edges
+//     stop allocating after warm-up too.
 //   * Each directed edge has exactly one writer (its tail), so sends from
-//     distinct nodes never race: process_round work may be partitioned
-//     across a worker pool (`CongestConfig::threads`) with no locks on the
-//     delivery path. Per-worker statistics slots and per-node RNG streams
-//     keep runs bit-identical regardless of thread count.
+//     distinct nodes never race: per-round work is partitioned across a
+//     worker pool (`CongestConfig::threads`) with no locks on the delivery
+//     path. Per-worker statistics slots and per-node RNG streams keep runs
+//     bit-identical regardless of thread count.
 //   * Only lanes actually written are cleared between rounds (tracked per
-//     worker), so a round costs O(active messages), not O(m).
+//     worker), so a round costs O(delivered messages), not O(m).
+//   * The simulator additionally maintains an *active set*: the nodes that
+//     received at least one message this round plus the nodes that called
+//     arm() last round. Event-driven algorithms route their loops through
+//     for_active_nodes and pay O(active + delivered) per round instead of
+//     O(n) — on instances that converge region-by-region most rounds touch
+//     a small and shrinking worklist.
 //
 // A DistributedAlgorithm owns all per-node state (struct-of-vectors) and is
 // driven by Network::run(). This keeps the hot loop virtual-call-free per
 // node and allocation-free per round, while the NodeView/send API preserves
 // the locality discipline. Algorithms opt into the worker pool by routing
-// their per-node loops through Network::for_nodes; the code for node v must
-// then touch only v's own slots of the algorithm's per-node arrays (and
-// must not use std::vector<bool>, whose packed bits are not per-element
-// thread-safe).
+// their per-node loops through Network::for_nodes / for_active_nodes; the
+// code for node v must then touch only v's own slots of the algorithm's
+// per-node arrays (and must not use std::vector<bool>, whose packed bits
+// are not per-element thread-safe).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
 #include "congest/message.hpp"
@@ -62,10 +76,16 @@ struct CongestConfig {
   bool quantize_reals = true;
   /// Seed for all per-node randomness.
   std::uint64_t seed = 0xa5a5a5a5ULL;
-  /// Worker-pool width for Network::for_nodes. 1 = serial (default);
-  /// 0 = std::thread::hardware_concurrency(). Results are bit-identical
-  /// for every value.
+  /// Worker-pool width for for_nodes/for_active_nodes. 1 = serial
+  /// (default); 0 = std::thread::hardware_concurrency(). Results are
+  /// bit-identical for every value.
   int threads = 1;
+  /// Initial per-lane arena region in 64-bit words (including the length
+  /// word). 0 = derive from the message cap: the length word plus room
+  /// for one cap-sized record; lanes that carry more in a round spill
+  /// once and regrow individually. Tests set a tiny value to exercise the
+  /// spill/regrow path.
+  int lane_capacity_words_hint = 0;
 };
 
 /// The per-message bit cap a Network with this config enforces on an
@@ -83,6 +103,15 @@ struct RunStats {
   friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
+/// Per-worker cache-line-padded counter for algorithms that must maintain
+/// a global tally (e.g. "number of uncovered nodes") from inside a
+/// parallel section: each worker bumps its own slot via
+/// Network::worker_index() and the algorithm reduces the slots serially
+/// after the section — race-free and bit-identical at every pool width.
+struct alignas(64) WorkerCounter {
+  std::int64_t value = 0;
+};
+
 class Network;
 
 /// Base class for round-synchronous distributed algorithms.
@@ -95,7 +124,7 @@ class DistributedAlgorithm {
  public:
   virtual ~DistributedAlgorithm() = default;
 
-  /// Set up per-node state; may send round-0 messages.
+  /// Set up per-node state; may send round-0 messages and arm() nodes.
   virtual void initialize(Network& net) = 0;
 
   /// One synchronous round: every node reads its inbox and sends.
@@ -106,22 +135,28 @@ class DistributedAlgorithm {
   virtual bool finished(const Network& net) const = 0;
 };
 
-/// Iterable view over the messages delivered to one node this round:
-/// the node's contiguous CSR lane range, skipping lanes with no message.
-/// Messages appear ordered by sender id (adjacency lists are sorted),
-/// with per-sender send order preserved within a lane.
+/// Iterable view over the messages delivered to one node this round: a
+/// cursor walk over the node's contiguous CSR lane regions in the arena,
+/// skipping empty lanes. Word 0 of every lane region is its used length
+/// (so length check and record read hit the same cache line); records
+/// start at word 1. Messages appear ordered by sender id (adjacency lists
+/// are sorted), with per-sender send order preserved within a lane.
+/// Dereferencing yields MessageView values; they (and the InboxView) are
+/// valid only for the current round.
 class InboxView {
  public:
   class const_iterator {
    public:
-    using value_type = Message;
-    using reference = const Message&;
+    using value_type = MessageView;
+    using reference = MessageView;
     using difference_type = std::ptrdiff_t;
 
-    reference operator*() const { return (*lanes_)[lane_][msg_]; }
-    const Message* operator->() const { return &(*lanes_)[lane_][msg_]; }
+    MessageView operator*() const {
+      return MessageView(view_->arena_ + view_->lane_base_[lane_] + 1 + word_,
+                         view_->model_, view_->quantized_);
+    }
     const_iterator& operator++() {
-      ++msg_;
+      word_ += (**this).words();
       settle();
       return *this;
     }
@@ -131,51 +166,51 @@ class InboxView {
       return old;
     }
     friend bool operator==(const const_iterator& a, const const_iterator& b) {
-      return a.lane_ == b.lane_ && a.msg_ == b.msg_;
+      return a.lane_ == b.lane_ && a.word_ == b.word_;
     }
 
    private:
     friend class InboxView;
-    const_iterator(const std::vector<std::vector<Message>>* lanes,
-                   std::size_t lane, std::size_t end_lane)
-        : lanes_(lanes), lane_(lane), end_lane_(end_lane) {
+    const_iterator(const InboxView* view, std::size_t lane)
+        : view_(view), lane_(lane) {
       settle();
     }
     void settle() {
-      while (lane_ != end_lane_ && msg_ >= (*lanes_)[lane_].size()) {
+      while (lane_ != view_->end_lane_ &&
+             word_ >= view_->arena_[view_->lane_base_[lane_]]) {
         ++lane_;
-        msg_ = 0;
+        word_ = 0;
       }
-      if (lane_ == end_lane_) msg_ = 0;
+      if (lane_ == view_->end_lane_) word_ = 0;
     }
 
-    const std::vector<std::vector<Message>>* lanes_ = nullptr;
+    const InboxView* view_ = nullptr;
     std::size_t lane_ = 0;
-    std::size_t end_lane_ = 0;
-    std::size_t msg_ = 0;
+    std::size_t word_ = 0;
   };
 
-  const_iterator begin() const {
-    return const_iterator(lanes_, first_lane_, end_lane_);
-  }
-  const_iterator end() const {
-    return const_iterator(lanes_, end_lane_, end_lane_);
-  }
+  const_iterator begin() const { return const_iterator(this, first_lane_); }
+  const_iterator end() const { return const_iterator(this, end_lane_); }
   bool empty() const { return begin() == end(); }
   /// First delivered message; the inbox must be non-empty.
-  const Message& front() const { return *begin(); }
-  /// Number of delivered messages (O(degree)).
+  MessageView front() const { return *begin(); }
+  /// Number of delivered messages (O(degree + messages)).
   std::size_t size() const;
 
  private:
   friend class Network;
-  InboxView(const std::vector<std::vector<Message>>* lanes,
-            std::size_t first_lane, std::size_t end_lane)
-      : lanes_(lanes), first_lane_(first_lane), end_lane_(end_lane) {}
+  InboxView(const std::uint64_t* arena, const std::uint64_t* lane_base,
+            std::size_t first_lane, std::size_t end_lane,
+            const MessageSizeModel* model, bool quantized)
+      : arena_(arena), lane_base_(lane_base), first_lane_(first_lane),
+        end_lane_(end_lane), model_(model), quantized_(quantized) {}
 
-  const std::vector<std::vector<Message>>* lanes_;
+  const std::uint64_t* arena_;
+  const std::uint64_t* lane_base_;
   std::size_t first_lane_;
   std::size_t end_lane_;
+  const MessageSizeModel* model_;
+  bool quantized_;
 };
 
 class Network {
@@ -199,8 +234,8 @@ class Network {
   Rng& rng(NodeId v);
 
   // --- communication (called from within process_round/initialize) ---
-  void send(NodeId from, NodeId to, Message m);
-  void broadcast(NodeId from, Message m);
+  void send(NodeId from, NodeId to, const Message& m);
+  void broadcast(NodeId from, const Message& m);
 
   /// Messages delivered to v at the start of the current round.
   InboxView inbox(NodeId v) const;
@@ -212,16 +247,62 @@ class Network {
   /// CongestConfig::threads > 1 (contiguous static chunks, so the
   /// assignment — and hence every per-node result — is independent of the
   /// actual thread count). fn(v) must only touch node v's state, v's
-  /// inbox, v's RNG stream, and sends originating at v.
+  /// inbox, v's RNG stream, and sends/arms originating at v.
   template <typename F>
   void for_nodes(F&& fn) {
-    run_node_chunks([&fn](NodeId begin, NodeId end) {
-      for (NodeId v = begin; v < end; ++v) fn(v);
-    });
+    auto chunk = [&fn](std::size_t begin, std::size_t end) {
+      for (std::size_t v = begin; v < end; ++v)
+        fn(static_cast<NodeId>(v));
+    };
+    run_index_chunks(num_nodes(), chunk);
   }
 
-  /// Worker-pool width this Network executes for_nodes with.
+  /// Runs fn(v) for every *active* node: the nodes that received at least
+  /// one message this round plus the nodes arm()ed during the previous
+  /// round, deduplicated. Same locality contract as for_nodes; each active
+  /// node is visited exactly once, on exactly one worker. The set's
+  /// contents are a pure function of the algorithm (never of the pool
+  /// width); only the visit order varies, which the locality contract
+  /// makes unobservable.
+  template <typename F>
+  void for_active_nodes(F&& fn) {
+    if (active_dirty_) rebuild_active_set();
+    const NodeId* nodes = active_list_.data();
+    auto chunk = [&fn, nodes](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(nodes[i]);
+    };
+    run_index_chunks(active_list_.size(), chunk);
+  }
+
+  /// Schedules v to be active next round even if no message arrives. May
+  /// only be called from code running as node v (initialize's setup loop
+  /// or a for_nodes/for_active_nodes body visiting v): an event-driven
+  /// node keeps itself on the worklist by re-arming until it resolves.
+  void arm(NodeId v) { arm_at(v, round_ + 1); }
+
+  /// Generalized arm: wake v at a specific future round (> current).
+  /// Backed by a per-worker timer wheel, so a node whose next action is at
+  /// a locally computable future time (e.g. "when the global threshold
+  /// halves below my degree") sleeps through the interim rounds at zero
+  /// cost instead of re-arming every round. A message arriving earlier
+  /// wakes it anyway; stale earlier wakes are safe (the node just
+  /// re-checks and re-schedules).
+  void arm_at(NodeId v, std::int64_t round);
+
+  /// This round's active set (receivers + previously armed). Mainly for
+  /// tests and diagnostics.
+  std::span<const NodeId> active_nodes() {
+    if (active_dirty_) rebuild_active_set();
+    return {active_list_.data(), active_list_.size()};
+  }
+
+  /// Worker-pool width this Network executes parallel loops with.
   int num_workers() const;
+
+  /// Index of the worker slot the calling thread accounts to (0 when
+  /// called outside a parallel section); < num_workers(). For per-worker
+  /// reduction state such as WorkerCounter arrays.
+  int worker_index() const { return static_cast<int>(worker_slot()); }
 
   // --- driving ---
   /// Runs until algo.finished() or max_rounds; returns statistics.
@@ -239,13 +320,36 @@ class Network {
     int max_message_bits = 0;
   };
 
+  /// One worker's overflow storage: whole wire records that did not fit
+  /// their lane region this round, merged back (and the lane regrown) at
+  /// the next flip.
+  struct SpillRec {
+    EdgeSlot lane;
+    std::uint32_t begin;  // word range in `words`
+    std::uint32_t end;
+  };
+  struct WorkerSpill {
+    std::vector<std::uint64_t> words;
+    std::vector<SpillRec> recs;
+  };
+
   void flip_buffers();
   void clear_all_lanes();
+  void merge_spills_and_grow();
+  void rebuild_active_set();
+  void shrink_scratch();
   std::size_t worker_slot() const;
-  void account(const Message& m);
-  void deposit(std::size_t arc, Message&& m);
+  void check_cap(int bits) const;
+  void account_bits(int bits);
+  /// Encodes m into the lane (or spill), cap-checking before committing;
+  /// returns the accounted bits from the encode pass.
+  int deposit_encoded(EdgeSlot lane, const Message& m, NodeId sender);
+  void deposit_words(std::size_t worker, EdgeSlot lane,
+                     const std::uint64_t* words, std::size_t nwords);
+  bool lane_spilled(std::size_t worker, EdgeSlot lane) const;
   void reduce_stats();
-  void run_node_chunks(const std::function<void(NodeId, NodeId)>& chunk_fn);
+  void run_index_chunks(std::size_t count,
+                        FunctionRef<void(std::size_t, std::size_t)> chunk_fn);
 
   const WeightedGraph* wg_;
   CongestConfig config_;
@@ -254,20 +358,68 @@ class Network {
   std::int64_t round_ = 0;
 
   // CSR arc offsets (offsets_[v]..offsets_[v+1] are v's incident lanes in
-  // receiver order) and the out-arc -> receiver-lane mirror permutation.
+  // receiver order), the out-arc -> receiver-lane mirror permutation, and
+  // the lane -> receiver map used by the active-set builder.
   std::vector<std::size_t> offsets_;
   std::vector<EdgeSlot> mirror_;
+  std::vector<NodeId> lane_receiver_;
 
-  // Double-buffered flat lane arrays; in_/out_ point into buf_a_/buf_b_.
-  std::vector<std::vector<Message>> buf_a_;
-  std::vector<std::vector<Message>> buf_b_;
-  std::vector<std::vector<Message>>* in_ = nullptr;
-  std::vector<std::vector<Message>>* out_ = nullptr;
+  // Shared lane layout: lane l owns words [lane_base_[l], lane_base_[l+1])
+  // of both arenas; word 0 of the region is the lane's used length (same
+  // cache line as the records it guards — a deposit or inbox scan costs
+  // one memory touch per lane, not two), records follow from word 1.
+  // Double-buffered: the in-arena holds this round's deliveries, the
+  // out-arena collects next round's. Beyond the length words the storage
+  // is deliberately *uninitialized* (every wire record fully initializes
+  // the words it claims, and the length word guards reads), so
+  // constructing a Network never pays an O(arena) zero-fill.
+  std::vector<std::uint64_t> lane_base_;
+  std::size_t arena_words_ = 0;
+  std::unique_ptr<std::uint64_t[]> arena_a_, arena_b_;
+  std::unique_ptr<std::uint64_t[]>* in_arena_ = nullptr;
+  std::unique_ptr<std::uint64_t[]>* out_arena_ = nullptr;
 
   // Lanes written this round / holding this round's inbox, per worker, so
   // a flip clears O(messages) lanes instead of O(m).
   std::vector<std::vector<EdgeSlot>> touched_out_;
   std::vector<std::vector<EdgeSlot>> touched_in_;
+
+  // Per-worker overflow buffers and broadcast encode scratch.
+  std::vector<WorkerSpill> spills_;
+  std::vector<std::vector<std::uint64_t>> scratch_;
+
+  // Active set: nodes receiving messages this round + nodes whose timer
+  // came due, deduplicated through an epoch-stamped mark array and kept in
+  // ascending node order (dense rounds re-extract from the marks with one
+  // sequential sweep, sparse rounds sort the short list) so chunked
+  // iteration preserves the cache locality of a plain 0..n sweep. Built
+  // lazily on the first for_active_nodes/active_nodes call of a round
+  // (the flip only marks it dirty), so algorithms that never use the
+  // active-set API pay nothing for it.
+  bool active_dirty_ = false;
+  std::vector<NodeId> active_list_;
+  std::vector<NodeId> active_scratch_;
+  std::vector<std::uint64_t> active_mark_;
+  std::uint64_t active_epoch_ = 0;
+
+  // Per-worker timer wheel behind arm()/arm_at(): a power-of-two ring of
+  // round-tagged buckets. Bucket vectors are recycled as the ring wraps,
+  // so steady-state arming allocates nothing; a collision with a live
+  // future bucket doubles the ring (amortized, bounded by the largest
+  // delay an algorithm ever uses).
+  struct CalendarBucket {
+    std::int64_t round = -1;
+    std::vector<NodeId> nodes;
+  };
+  struct WorkerCalendar {
+    std::vector<CalendarBucket> ring;  // size is a power of two
+  };
+  std::vector<WorkerCalendar> calendars_;
+
+  // Per-run high-water marks driving the post-run scratch shrink policy.
+  std::size_t touched_highwater_ = 0;
+  std::size_t armed_highwater_ = 0;
+  std::size_t active_highwater_ = 0;
 
   std::vector<WorkerStats> worker_stats_;
   std::unique_ptr<WorkerPool> pool_;

@@ -28,7 +28,7 @@ void WorkerPool::worker_loop(int index) {
     start_.arrive_and_wait();
     if (stop_) return;
     try {
-      (*fn_)(index);
+      fn_(index);
     } catch (...) {
       errors_[static_cast<std::size_t>(index)] = std::current_exception();
     }
@@ -36,12 +36,12 @@ void WorkerPool::worker_loop(int index) {
   }
 }
 
-void WorkerPool::run(const std::function<void(int)>& fn) {
+void WorkerPool::run(FunctionRef<void(int)> fn) {
   if (threads_.empty()) {
     fn(0);
     return;
   }
-  fn_ = &fn;
+  fn_ = fn;
   start_.arrive_and_wait();
   try {
     fn(0);
@@ -49,7 +49,7 @@ void WorkerPool::run(const std::function<void(int)>& fn) {
     errors_[0] = std::current_exception();
   }
   done_.arrive_and_wait();
-  fn_ = nullptr;
+  fn_ = FunctionRef<void(int)>();
   for (auto& err : errors_) {
     if (err) {
       std::exception_ptr first = err;

@@ -15,9 +15,10 @@
 
 #include <barrier>
 #include <exception>
-#include <functional>
 #include <thread>
 #include <vector>
+
+#include "common/function_ref.hpp"
 
 namespace arbods {
 
@@ -33,14 +34,17 @@ class WorkerPool {
   int num_workers() const { return num_workers_; }
 
   /// Executes fn(w) once for every worker index w in [0, num_workers),
-  /// concurrently; returns after all have finished. Not reentrant.
-  void run(const std::function<void(int)>& fn);
+  /// concurrently; returns after all have finished. Not reentrant. The
+  /// callable is taken by non-owning reference (dispatch allocates
+  /// nothing); it must stay alive until run() returns, which every
+  /// synchronous caller guarantees.
+  void run(FunctionRef<void(int)> fn);
 
  private:
   void worker_loop(int index);
 
   int num_workers_ = 1;
-  const std::function<void(int)>* fn_ = nullptr;
+  FunctionRef<void(int)> fn_;
   bool stop_ = false;
   std::barrier<> start_;
   std::barrier<> done_;

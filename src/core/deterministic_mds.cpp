@@ -66,8 +66,11 @@ void DeterministicMds::process_round(Network& net) {
           if (!partial_.dominated()[v]) in_final_[v] = true;
         });
       } else {
-        net.for_nodes([&](NodeId u) {
-          for (const Message& m : net.inbox(u)) {
+        // The active set this round is exactly the kTagRequest receivers
+        // (the partial stage is quiescent), so the completion costs
+        // O(undominated), not O(n).
+        net.for_active_nodes([&](NodeId u) {
+          for (const MessageView m : net.inbox(u)) {
             if (m.tag() == kTagRequest) {
               in_final_[u] = true;
               break;

@@ -47,7 +47,7 @@ void PartialDominatingSet::initialize(Network& net) {
 }
 
 void PartialDominatingSet::absorb_joins(Network& net, NodeId v) {
-  for (const Message& m : net.inbox(v)) {
+  for (const MessageView m : net.inbox(v)) {
     if (m.tag() == kTagJoin) dominated_[v] = true;
   }
 }
@@ -64,7 +64,7 @@ void PartialDominatingSet::process_round(Network& net) {
       net.for_nodes([&](NodeId v) {
         Weight best = net.weight(v);
         NodeId witness = v;
-        for (const Message& m : net.inbox(v)) {
+        for (const MessageView m : net.inbox(v)) {
           if (m.tag() != kTagWeight) continue;
           const Weight w = m.weight_at(1);
           if (w < best || (w == best && m.sender() < witness)) {
@@ -99,7 +99,7 @@ void PartialDominatingSet::process_round(Network& net) {
     case Stage::kJoinRound: {
       net.for_nodes([&](NodeId u) {
         double sum = x_[u];
-        for (const Message& m : net.inbox(u)) {
+        for (const MessageView m : net.inbox(u)) {
           if (m.tag() == kTagValue) sum += m.real_at(1);
         }
         if (!in_s_[u] &&

@@ -16,6 +16,14 @@ RandomizedExtension::RandomizedExtension(RandomizedExtensionParams params,
   ARBODS_CHECK_MSG(params_.gamma > 1.0, "gamma must exceed 1");
 }
 
+void RandomizedExtension::reduce_dominated() {
+  for (WorkerCounter& d : dominated_delta_) {
+    ARBODS_CHECK(static_cast<std::int64_t>(num_undominated_) >= d.value);
+    num_undominated_ -= static_cast<NodeId>(d.value);
+    d.value = 0;
+  }
+}
+
 void RandomizedExtension::initialize(Network& net) {
   const NodeId n = net.num_nodes();
   const NodeId delta = net.graph().max_degree();
@@ -28,6 +36,8 @@ void RandomizedExtension::initialize(Network& net) {
   iter_ = 0;
   used_fallback_ = false;
   big_x_.assign(n, 0.0);
+  dominated_delta_.assign(static_cast<std::size_t>(net.num_workers()),
+                          WorkerCounter{});
 
   if (seed_.has_value()) {
     ARBODS_CHECK(seed_->in_set.size() == n && seed_->dominated.size() == n &&
@@ -55,8 +65,9 @@ void RandomizedExtension::initialize(Network& net) {
     stage_ = Stage::kDone;
     return;
   }
-  for (NodeId v = 0; v < n; ++v)
+  net.for_nodes([&](NodeId v) {
     net.broadcast(v, Message::tagged(kTagWeight).add_weight(net.weight(v)));
+  });
   stage_ = Stage::kAwaitWeights;
 }
 
@@ -65,13 +76,13 @@ void RandomizedExtension::start_phase(Network& net) {
   ++phase_;
   iter_ = 0;
   p_ = 1.0 / (static_cast<double>(net.graph().max_degree()) + 1.0);
-  const NodeId n = net.num_nodes();
-  for (NodeId v = 0; v < n; ++v) {
+  const bool first_phase = phase_ == 1;
+  net.for_nodes([&](NodeId v) {
     if (!dominated_[v]) {
-      if (phase_ > 1) x_[v] *= params_.gamma;
+      if (!first_phase) x_[v] *= params_.gamma;
       net.broadcast(v, Message::tagged(kTagValue).add_real(x_[v]));
     }
-  }
+  });
   stage_ = Stage::kSample;
 }
 
@@ -82,12 +93,12 @@ void RandomizedExtension::process_round(Network& net) {
     case Stage::kAwaitWeights: {
       const double delta_plus_1 =
           static_cast<double>(net.graph().max_degree()) + 1.0;
-      for (NodeId v = 0; v < n; ++v) {
+      net.for_nodes([&](NodeId v) {
         Weight best = net.weight(v);
-        for (const Message& m : net.inbox(v))
+        for (const MessageView m : net.inbox(v))
           if (m.tag() == kTagWeight) best = std::min(best, m.weight_at(1));
         x_[v] = static_cast<double>(best) / delta_plus_1;
-      }
+      });
       start_phase(net);
       break;
     }
@@ -95,51 +106,50 @@ void RandomizedExtension::process_round(Network& net) {
     case Stage::kSample: {
       ++iter_;
       const bool phase_opening = iter_ == 1;
-      for (NodeId u = 0; u < n; ++u) {
+      net.for_nodes([&](NodeId u) {
         if (phase_opening) {
           // Rebuild X_u from the phase-start broadcasts.
           double sum = dominated_[u] ? 0.0 : x_[u];
-          for (const Message& m : net.inbox(u))
+          for (const MessageView m : net.inbox(u))
             if (m.tag() == kTagValue) sum += m.real_at(1);
           big_x_[u] = sum;
         } else {
           // Deduct neighbors that announced domination last round.
-          for (const Message& m : net.inbox(u))
+          for (const MessageView m : net.inbox(u))
             if (m.tag() == kTagDominated) big_x_[u] -= m.real_at(1);
         }
-      }
-      // Gamma membership + sampling.
-      for (NodeId u = 0; u < n; ++u) {
-        if (in_set_[u]) continue;
+        // Gamma membership + sampling.
+        if (in_set_[u]) return;
         if (big_x_[u] <
             static_cast<double>(net.weight(u)) / params_.gamma)
-          continue;
-        if (!net.rng(u).next_bernoulli(p_)) continue;
+          return;
+        if (!net.rng(u).next_bernoulli(p_)) return;
         in_set_[u] = true;
         const bool was_undominated = !dominated_[u];
         if (was_undominated) {
           dominated_[u] = true;
-          --num_undominated_;
+          ++dominated_delta_[net.worker_index()].value;
           big_x_[u] -= x_[u];
         }
         net.broadcast(u, Message::tagged(kTagJoin)
                              .add_real(x_[u])
                              .add_flag(was_undominated));
-      }
+      });
+      reduce_dominated();
       p_ = std::min(p_ * params_.gamma, 1.0);
       stage_ = Stage::kDominate;
       break;
     }
 
     case Stage::kDominate: {
-      for (NodeId v = 0; v < n; ++v) {
+      net.for_nodes([&](NodeId v) {
         bool newly_dominated = false;
-        for (const Message& m : net.inbox(v)) {
+        for (const MessageView m : net.inbox(v)) {
           if (m.tag() != kTagJoin) continue;
           // A joining neighbor dominates v ...
           if (!dominated_[v]) {
             dominated_[v] = true;
-            --num_undominated_;
+            ++dominated_delta_[net.worker_index()].value;
             big_x_[v] -= x_[v];
             newly_dominated = true;
           }
@@ -148,7 +158,8 @@ void RandomizedExtension::process_round(Network& net) {
         }
         if (newly_dominated)
           net.broadcast(v, Message::tagged(kTagDominated).add_real(x_[v]));
-      }
+      });
+      reduce_dominated();
       if (iter_ < r_) {
         stage_ = Stage::kSample;
       } else if (num_undominated_ > 0 && phase_ < t_) {

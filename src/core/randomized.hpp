@@ -68,6 +68,7 @@ class RandomizedExtension final : public DistributedAlgorithm {
   enum class Stage { kAwaitWeights, kSample, kDominate, kFallback, kDone };
 
   void start_phase(Network& net);
+  void reduce_dominated();
 
   RandomizedExtensionParams params_;
   std::optional<ExtensionSeed> seed_;
@@ -88,6 +89,7 @@ class RandomizedExtension final : public DistributedAlgorithm {
   std::vector<double> big_x_;  // X_u over undominated closed neighbors
   NodeFlags in_set_;   // S union S'
   NodeFlags dominated_;
+  std::vector<WorkerCounter> dominated_delta_;  // per-worker events
   NodeId num_undominated_ = 0;
 };
 

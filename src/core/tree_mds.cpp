@@ -8,14 +8,17 @@ void TreeMds::initialize(Network& net) {
   const NodeId n = net.num_nodes();
   in_set_.assign(n, false);
   stage_ = n == 0 ? Stage::kDone : Stage::kAwaitDegrees;
-  for (NodeId v = 0; v < n; ++v)
+  // Isolated nodes receive nothing but still must decide, so every node
+  // arms itself for the one decision round.
+  net.for_nodes([&](NodeId v) {
     net.broadcast(v, Message::tagged(kTagDegree).add_level(net.degree(v)));
+    net.arm(v);
+  });
 }
 
 void TreeMds::process_round(Network& net) {
   if (stage_ != Stage::kAwaitDegrees) return;
-  const NodeId n = net.num_nodes();
-  for (NodeId v = 0; v < n; ++v) {
+  net.for_active_nodes([&](NodeId v) {
     const NodeId deg = net.degree(v);
     if (deg >= 2) {
       in_set_[v] = true;  // internal node
@@ -23,11 +26,11 @@ void TreeMds::process_round(Network& net) {
       in_set_[v] = true;  // isolated: nobody else can dominate it
     } else {
       // Single neighbor; join only if it is also a leaf and we tie-break.
-      const Message& m = net.inbox(v).front();
+      const MessageView m = net.inbox(v).front();
       ARBODS_CHECK(m.tag() == kTagDegree);
       if (m.level_at(1) == 1 && v < m.sender()) in_set_[v] = true;
     }
-  }
+  });
   stage_ = Stage::kDone;
 }
 

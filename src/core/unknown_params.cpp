@@ -14,6 +14,14 @@ AdaptiveMds::AdaptiveMds(AdaptiveMdsParams params) : params_(params) {
     ARBODS_CHECK(params_.alpha >= 1);
 }
 
+void AdaptiveMds::reduce_dominated() {
+  for (WorkerCounter& d : dominated_delta_) {
+    ARBODS_CHECK(static_cast<std::int64_t>(num_undominated_) >= d.value);
+    num_undominated_ -= static_cast<NodeId>(d.value);
+    d.value = 0;
+  }
+}
+
 void AdaptiveMds::initialize(Network& net) {
   const NodeId n = net.num_nodes();
   x_.assign(n, 0.0);
@@ -24,6 +32,8 @@ void AdaptiveMds::initialize(Network& net) {
   in_final_.assign(n, false);
   dominated_.assign(n, false);
   pending_join_announce_.assign(n, false);
+  dominated_delta_.assign(static_cast<std::size_t>(net.num_workers()),
+                          WorkerCounter{});
   num_undominated_ = n;
   iterations_ = 0;
   orientation_rounds_ = 0;
@@ -45,11 +55,11 @@ void AdaptiveMds::initialize(Network& net) {
     stage_ = Stage::kOrient;
   } else {
     // Remark 4.4: straight to the info exchange.
-    for (NodeId v = 0; v < n; ++v) {
+    net.for_nodes([&](NodeId v) {
       net.broadcast(v, Message::tagged(kTagInfo)
                            .add_weight(net.weight(v))
                            .add_level(net.degree(v)));
-    }
+    });
     stage_ = Stage::kInfoExchange;
   }
 }
@@ -65,25 +75,25 @@ void AdaptiveMds::process_round(Network& net) {
       if (!be_->finished(net)) break;
       // Orientation done; publish weight + out-degree next.
       Orientation o = be_->extract_orientation(net.graph());
-      for (NodeId v = 0; v < n; ++v) {
-        out_degree_[v] = o.out_degree(v);
+      for (NodeId v = 0; v < n; ++v) out_degree_[v] = o.out_degree(v);
+      net.for_nodes([&](NodeId v) {
         net.broadcast(v, Message::tagged(kTagInfo)
                              .add_weight(net.weight(v))
                              .add_level(out_degree_[v]));
-      }
+      });
       stage_ = Stage::kInfoExchange;
       break;
     }
 
     case Stage::kInfoExchange: {
-      for (NodeId v = 0; v < n; ++v) {
+      const bool unknown_delta = params_.mode == AdaptiveMode::kUnknownDelta;
+      net.for_nodes([&](NodeId v) {
         Weight best = net.weight(v);
         NodeId witness = v;
         // For kUnknownDelta: max closed-neighborhood size, incl. own.
-        std::int64_t max_info = params_.mode == AdaptiveMode::kUnknownDelta
-                                    ? net.degree(v) + 1
-                                    : out_degree_[v];
-        for (const Message& m : net.inbox(v)) {
+        std::int64_t max_info =
+            unknown_delta ? net.degree(v) + 1 : out_degree_[v];
+        for (const MessageView m : net.inbox(v)) {
           if (m.tag() != kTagInfo) continue;
           const Weight w = m.weight_at(1);
           if (w < best || (w == best && m.sender() < witness)) {
@@ -91,12 +101,12 @@ void AdaptiveMds::process_round(Network& net) {
             witness = m.sender();
           }
           std::int64_t info = m.level_at(2);
-          if (params_.mode == AdaptiveMode::kUnknownDelta) info += 1;
+          if (unknown_delta) info += 1;
           max_info = std::max(max_info, info);
         }
         tau_[v] = best;
         tau_witness_[v] = witness;
-        if (params_.mode == AdaptiveMode::kUnknownDelta) {
+        if (unknown_delta) {
           x_[v] = static_cast<double>(best) / static_cast<double>(max_info);
           lambda_[v] = 1.0 / ((2.0 * params_.alpha + 1.0) * one_plus_eps);
         } else {
@@ -105,7 +115,7 @@ void AdaptiveMds::process_round(Network& net) {
           lambda_[v] = 1.0 / ((2.0 * static_cast<double>(max_info) + 1.0) *
                               one_plus_eps);
         }
-      }
+      });
       first_value_round_ = true;
       stage_ = Stage::kValueRound;
       break;
@@ -113,24 +123,25 @@ void AdaptiveMds::process_round(Network& net) {
 
     case Stage::kValueRound: {
       ++iterations_;
-      for (NodeId v = 0; v < n; ++v) {
+      const bool first = first_value_round_;
+      net.for_nodes([&](NodeId v) {
         // (1) absorb join announcements from the previous join round.
         if (!dominated_[v]) {
-          for (const Message& m : net.inbox(v)) {
+          for (const MessageView m : net.inbox(v)) {
             if (m.tag() == kTagJoin) {
               dominated_[v] = true;
-              --num_undominated_;
+              ++dominated_delta_[net.worker_index()].value;
               break;
             }
           }
         }
         // (2) step 3 of the previous iteration: bump if still undominated.
-        if (!first_value_round_ && !dominated_[v]) x_[v] *= one_plus_eps;
+        if (!first && !dominated_[v]) x_[v] *= one_plus_eps;
         // (3) the Remarks' extra step: self-completion once past lambda_v.
         if (!dominated_[v] &&
             x_[v] > lambda_[v] * static_cast<double>(tau_[v])) {
           dominated_[v] = true;  // the witness join is guaranteed
-          --num_undominated_;
+          ++dominated_delta_[net.worker_index()].value;
           if (tau_witness_[v] == v) {
             in_final_[v] = true;
             pending_join_announce_[v] = true;  // announced next join round
@@ -138,19 +149,19 @@ void AdaptiveMds::process_round(Network& net) {
             net.send(v, tau_witness_[v], Message::tagged(kTagRequest));
           }
         }
-      }
-      first_value_round_ = false;
-      for (NodeId v = 0; v < n; ++v)
         net.broadcast(v, Message::tagged(kTagValue).add_real(x_[v]));
+      });
+      reduce_dominated();
+      first_value_round_ = false;
       stage_ = Stage::kJoinRound;
       break;
     }
 
     case Stage::kJoinRound: {
-      for (NodeId u = 0; u < n; ++u) {
+      net.for_nodes([&](NodeId u) {
         bool join = false;
         double sum = x_[u];
-        for (const Message& m : net.inbox(u)) {
+        for (const MessageView m : net.inbox(u)) {
           if (m.tag() == kTagValue) sum += m.real_at(1);
           if (m.tag() == kTagRequest) join = true;  // carries tau for someone
         }
@@ -162,14 +173,15 @@ void AdaptiveMds::process_round(Network& net) {
           in_final_[u] = true;
           if (!dominated_[u]) {
             dominated_[u] = true;
-            --num_undominated_;
+            ++dominated_delta_[net.worker_index()].value;
           }
         }
         if (fresh_join || pending_join_announce_[u]) {
           pending_join_announce_[u] = false;
           net.broadcast(u, Message::tagged(kTagJoin));
         }
-      }
+      });
+      reduce_dominated();
       stage_ = num_undominated_ == 0 ? Stage::kDone : Stage::kValueRound;
       break;
     }

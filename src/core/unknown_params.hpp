@@ -77,13 +77,16 @@ class AdaptiveMds final : public DistributedAlgorithm {
   std::vector<Weight> tau_;
   std::vector<NodeId> tau_witness_;
   std::vector<NodeId> out_degree_;  // kUnknownAlpha: BE out-degree
-  std::vector<bool> in_final_;      // S union S'
-  std::vector<bool> dominated_;     // includes "pending" requesters
+  NodeFlags in_final_;              // S union S'
+  NodeFlags dominated_;             // includes "pending" requesters
   /// Self-witness joins decided in a value round announce in the next join
   /// round (join announcements are only absorbed in value rounds, so
   /// broadcasting them from a value round would be lost).
-  std::vector<bool> pending_join_announce_;
+  NodeFlags pending_join_announce_;
+  std::vector<WorkerCounter> dominated_delta_;  // per-worker events
   NodeId num_undominated_ = 0;
+
+  void reduce_dominated();
 };
 
 }  // namespace arbods

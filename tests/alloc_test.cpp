@@ -1,0 +1,140 @@
+// Zero-steady-state-allocation regression for the simulator hot path.
+//
+// This binary replaces the global allocation functions with counting
+// versions (the hook the whole suite can reuse: every operator new/delete
+// pair funnels through count_alloc below). After a short warm-up — arena
+// sizing, touched-list/active-list capacity growth — a full flood round
+// (broadcast per node, cursor-read per inbox, buffer flip, active-set
+// rebuild, stats reduction) must perform exactly zero allocations, at
+// every worker-pool width. This is the contract the packed wire format
+// exists to provide; any new heap traffic on the delivery path fails here
+// deterministically.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "gen/classic.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* count_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* count_alloc_aligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return count_alloc(size); }
+void* operator new[](std::size_t size) { return count_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return count_alloc_aligned(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return count_alloc_aligned(size, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace arbods {
+namespace {
+
+// Every node floods a (tag, id, real) record each round, reads its whole
+// inbox through the cursor, and re-arms itself — exercising send, encode,
+// delivery, active-set rebuild and the armed path together.
+class FloodProbe final : public DistributedAlgorithm {
+ public:
+  // Warm-up must cover one full cycle of the 16-slot timer ring (each
+  // bucket's first use allocates its node vector) plus the arena/touched
+  // capacity growth of the first rounds.
+  static constexpr std::int64_t kWarmupRounds = 20;
+  static constexpr std::int64_t kMeasuredRounds = 12;
+
+  std::uint64_t allocs_at_start = 0;
+  std::uint64_t allocs_at_end = 0;
+  double sink = 0;  // defeat dead-code elimination of the reads
+
+  void initialize(Network& net) override {
+    net.for_nodes([&](NodeId v) { flood(net, v); });
+  }
+
+  void process_round(Network& net) override {
+    const std::int64_t r = net.current_round();
+    if (r == kWarmupRounds)
+      allocs_at_start = g_alloc_count.load(std::memory_order_relaxed);
+    if (r == kWarmupRounds + kMeasuredRounds) {
+      allocs_at_end = g_alloc_count.load(std::memory_order_relaxed);
+      return;
+    }
+    net.for_active_nodes([&](NodeId v) {
+      double sum = 0;
+      for (const MessageView m : net.inbox(v)) sum += m.real_at(2);
+      sums_[v] = sum;
+      flood(net, v);
+      net.arm(v);
+    });
+  }
+
+  bool finished(const Network& net) const override {
+    return net.current_round() >= kWarmupRounds + kMeasuredRounds;
+  }
+
+  void prepare(NodeId n) { sums_.assign(n, 0.0); }
+
+ private:
+  static void flood(Network& net, NodeId v) {
+    net.broadcast(v, Message::tagged(1).add_id(v).add_real(0.5));
+  }
+
+  std::vector<double> sums_;
+};
+
+void expect_zero_steady_state_allocs(int threads) {
+  auto wg = WeightedGraph::uniform(gen::grid(48, 48));  // n = 2304, m = 4512
+  CongestConfig cfg;
+  cfg.threads = threads;
+  Network net(wg, cfg);
+  FloodProbe probe;
+  probe.prepare(wg.num_nodes());
+  const RunStats stats = net.run(probe, 100);
+  EXPECT_GT(stats.messages, 0);
+  ASSERT_GT(probe.allocs_at_start, 0u);  // warm-up did allocate
+  EXPECT_EQ(probe.allocs_at_end - probe.allocs_at_start, 0u)
+      << "steady-state rounds allocated (threads=" << threads << ")";
+}
+
+TEST(AllocRegression, SteadyStateRoundsAllocateNothingSerial) {
+  expect_zero_steady_state_allocs(1);
+}
+
+TEST(AllocRegression, SteadyStateRoundsAllocateNothingParallel) {
+  expect_zero_steady_state_allocs(4);
+}
+
+}  // namespace
+}  // namespace arbods

@@ -43,8 +43,12 @@ struct Delivery {
 
 using Trace = std::vector<std::vector<Delivery>>;  // per receiver
 
-Delivery record(std::int64_t round, const Message& m) {
-  Delivery d{round, m.sender(), m.tag(), 0, -1.0, kInvalidNode};
+// Shared by both simulators: M is Message (reference loop, which tracks
+// senders out of band) or MessageView (the wire cursor, which carries the
+// sender in the record header).
+template <typename M>
+Delivery record(std::int64_t round, NodeId sender, const M& m) {
+  Delivery d{round, sender, m.tag(), 0, -1.0, kInvalidNode};
   if (d.tag == kTagValue) {
     d.level = m.level_at(1);
     d.real = m.real_at(2);
@@ -101,11 +105,8 @@ ReferenceStats run_reference(const WeightedGraph& wg,
   for (std::int64_t round = 1; round <= kSendRounds + 1; ++round) {
     ++stats.rounds;
     for (NodeId v = 0; v < n; ++v) {
-      for (std::size_t i = 0; i < inboxes[v].size(); ++i) {
-        Delivery d = record(round, inboxes[v][i]);
-        d.sender = in_senders[v][i];
-        trace[v].push_back(d);
-      }
+      for (std::size_t i = 0; i < inboxes[v].size(); ++i)
+        trace[v].push_back(record(round, in_senders[v][i], inboxes[v][i]));
     }
     if (round <= kSendRounds) {
       for (NodeId v = 0; v < n; ++v) {
@@ -158,7 +159,8 @@ class ScriptedAlgorithm final : public DistributedAlgorithm {
   void process_round(Network& net) override {
     const std::int64_t round = net.current_round();
     net.for_nodes([&](NodeId v) {
-      for (const Message& m : net.inbox(v)) trace[v].push_back(record(round, m));
+      for (const MessageView m : net.inbox(v))
+        trace[v].push_back(record(round, m.sender(), m));
       if (round <= kSendRounds) {
         scripted_sends(
             v, round, net.neighbors(v), net.rng(v),

@@ -1,6 +1,11 @@
 // Tests for the CONGEST simulator: message encoding and bit accounting,
-// delivery semantics, cap enforcement, per-node randomness, statistics.
+// the packed wire format, delivery semantics, lane spill/regrowth, cap
+// enforcement, active-set scheduling, per-node randomness, statistics.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "congest/message.hpp"
@@ -59,6 +64,70 @@ TEST(Message, QuantizeRealsRoundsThroughCodec) {
   EXPECT_NEAR(q, v, v * default_value_codec().relative_error_bound() * 1.01);
 }
 
+TEST(Message, InlineStorageOverflowKeepsFieldsAddressable) {
+  Message m = Message::tagged(2);
+  for (int i = 0; i < 20; ++i) m.add_level(i * 100);  // beyond kInlineFields
+  EXPECT_EQ(m.num_fields(), 21u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(m.level_at(1 + i), i * 100);
+}
+
+// ------------------------------------------------------ packed wire format
+
+TEST(Wire, EncodeDecodeRoundTripsEveryKind) {
+  MessageSizeModel model;
+  model.id_bits = 17;
+  model.weight_bits = 23;
+  model.level_bits = 29;
+  model.flag_bits = 1;
+  model.real_bits = default_value_codec().bit_width();
+  model.tag_bits = 4;
+  Message m = Message::tagged(9);
+  m.add_id(12345).add_weight(4'000'000).add_level(123456789).add_flag(true)
+      .add_real(0.375).add_flag(false).add_id(3);
+  std::vector<std::uint64_t> buf(wire_words(m, model, true));
+  EXPECT_EQ(wire_encode(m, 777, model, true, buf.data()), buf.size());
+  EXPECT_EQ(wire_payload_bits(m, model), m.bit_size(model));
+
+  MessageView view(buf.data(), &model, true);
+  EXPECT_EQ(view.sender(), 777u);
+  EXPECT_EQ(view.num_fields(), 8u);
+  EXPECT_EQ(view.words(), buf.size());
+  EXPECT_EQ(view.tag(), 9);
+  EXPECT_EQ(view.id_at(1), 12345u);
+  EXPECT_EQ(view.weight_at(2), 4'000'000);
+  EXPECT_EQ(view.level_at(3), 123456789);
+  EXPECT_TRUE(view.flag_at(4));
+  const auto& codec = default_value_codec();
+  EXPECT_EQ(view.real_at(5), codec.decode(codec.encode(0.375)));
+  EXPECT_FALSE(view.flag_at(6));
+  EXPECT_EQ(view.id_at(7), 3u);
+  EXPECT_THROW(view.id_at(2), CheckError);    // kind mismatch
+  EXPECT_THROW(view.flag_at(8), CheckError);  // out of range
+}
+
+TEST(Wire, RawDoublesWhenQuantizationDisabled) {
+  MessageSizeModel model;
+  Message m = Message::tagged(1);
+  m.add_real(0.1);  // not representable in the codec
+  std::vector<std::uint64_t> buf(wire_words(m, model, false));
+  wire_encode(m, 5, model, false, buf.data());
+  MessageView view(buf.data(), &model, false);
+  EXPECT_EQ(view.real_at(1), 0.1);  // exact 64-bit round trip
+}
+
+TEST(Wire, ManyFieldRecordsSpanKindWords) {
+  MessageSizeModel model;
+  model.flag_bits = 1;
+  Message m;  // untagged: 40 flags forces three kind words
+  for (int i = 0; i < 40; ++i) m.add_flag(i % 3 == 0);
+  std::vector<std::uint64_t> buf(wire_words(m, model, true));
+  wire_encode(m, 1, model, true, buf.data());
+  MessageView view(buf.data(), &model, true);
+  EXPECT_EQ(view.tag(), -1);
+  EXPECT_EQ(view.num_fields(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(view.flag_at(i), i % 3 == 0);
+}
+
 // ----------------------------------------------------------------- network
 
 // Two-round protocol: round 1 every node broadcasts its id; round 2 every
@@ -79,7 +148,7 @@ class EchoAlgorithm final : public DistributedAlgorithm {
     if (round_ != 1) return;
     for (NodeId v = 0; v < net.num_nodes(); ++v) {
       std::int64_t sum = 0;
-      for (const Message& m : net.inbox(v)) {
+      for (const MessageView m : net.inbox(v)) {
         sum += m.id_at(1);
         EXPECT_EQ(m.sender(), m.id_at(1));  // sender metadata is faithful
       }
@@ -213,7 +282,7 @@ TEST(Network, QuantizationAppliedOnSend) {
       net.send(0, 1, Message::tagged(0).add_real(0.1));
     }
     void process_round(Network& net) override {
-      for (const Message& m : net.inbox(1)) received = m.real_at(1);
+      for (const MessageView m : net.inbox(1)) received = m.real_at(1);
     }
     bool finished(const Network&) const override { return received >= 0; }
   };
@@ -338,7 +407,7 @@ TEST(Network, InboxOrderIsSenderMajorWithinRound) {
       net.send(1, 0, Message::tagged(7));
     }
     void process_round(Network& net) override {
-      for (const Message& m : net.inbox(0)) hub_tags.push_back(m.tag());
+      for (const MessageView m : net.inbox(0)) hub_tags.push_back(m.tag());
     }
     bool finished(const Network& net) const override {
       return net.current_round() >= 1;
@@ -353,6 +422,138 @@ TEST(Network, InboxOrderIsSenderMajorWithinRound) {
   EXPECT_EQ(net.inbox(0).size(), 3u);
   EXPECT_EQ(net.inbox(0).front().tag(), 7);
   EXPECT_TRUE(net.inbox(1).empty());
+}
+
+// ------------------------------------------------- lane spill and regrowth
+
+// Tiny lane regions force the overflow path: records spill to per-worker
+// side buffers mid-round, the next flip merges them back in send order and
+// permanently regrows the lanes, after which delivery is spill-free and
+// indistinguishable from the resident path.
+TEST(Network, LaneOverflowSpillsAndRegrowsPreservingOrder) {
+  auto wg = WeightedGraph::uniform(gen::star(4));  // hub 0, leaves 1..3
+
+  class Chatty final : public DistributedAlgorithm {
+   public:
+    int checked_rounds = 0;
+    void initialize(Network& net) override { burst(net); }
+    void process_round(Network& net) override {
+      std::vector<std::pair<NodeId, int>> got;
+      for (const MessageView m : net.inbox(0))
+        got.push_back({m.sender(), m.tag()});
+      std::vector<std::pair<NodeId, int>> want;
+      for (NodeId s = 1; s <= 3; ++s)
+        for (int t = 0; t < 3; ++t) want.push_back({s, t});
+      EXPECT_EQ(got, want);
+      ++checked_rounds;
+      if (net.current_round() < 3) burst(net);
+    }
+    bool finished(const Network& net) const override {
+      return net.current_round() >= 3;
+    }
+
+   private:
+    static void burst(Network& net) {
+      for (NodeId s = 1; s <= 3; ++s)
+        for (int t = 0; t < 3; ++t)
+          net.send(s, 0, Message::tagged(t).add_id(s));
+    }
+  };
+
+  for (const int threads : {1, 4}) {
+    CongestConfig cfg;
+    cfg.threads = threads;
+    cfg.lane_capacity_words_hint = 1;  // no record fits its lane resident
+    Network net(wg, cfg);
+    Chatty algo;
+    const RunStats stats = net.run(algo, 10);
+    EXPECT_EQ(algo.checked_rounds, 3);
+    EXPECT_EQ(stats.messages, 27);
+  }
+}
+
+// --------------------------------------------------- active-set scheduling
+
+// for_active_nodes visits exactly (message receivers ∪ armed nodes) of the
+// round, each exactly once, regardless of duplicate deliveries or arms.
+TEST(Network, ActiveSetIsReceiversPlusArmedDeduplicated) {
+  auto wg = WeightedGraph::uniform(gen::path(6));
+
+  class Probe final : public DistributedAlgorithm {
+   public:
+    std::vector<NodeId> round1, round2;
+    void initialize(Network& net) override {
+      net.send(0, 1, Message::tagged(1));
+      net.send(2, 1, Message::tagged(2));  // node 1 receives twice
+      net.arm(4);
+      net.arm(4);  // duplicate arm
+      net.arm(1);  // armed and receiving
+    }
+    void process_round(Network& net) override {
+      if (net.current_round() == 1) {
+        net.for_active_nodes([&](NodeId v) {
+          round1.push_back(v);
+          if (v == 4) net.arm(v);  // 4 re-arms, 1 resolves
+        });
+      } else {
+        net.for_active_nodes([&](NodeId v) { round2.push_back(v); });
+      }
+    }
+    bool finished(const Network& net) const override {
+      return net.current_round() >= 2;
+    }
+  };
+
+  Network net(wg);
+  Probe p;
+  net.run(p, 5);
+  std::sort(p.round1.begin(), p.round1.end());
+  EXPECT_EQ(p.round1, (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(p.round2, (std::vector<NodeId>{4}));  // only the re-armed node
+}
+
+// The active set is a pure function of the algorithm, not the pool width:
+// contents match between a serial and a wide network at every round.
+TEST(Network, ActiveSetContentsIndependentOfThreadWidth) {
+  auto wg = WeightedGraph::uniform(gen::grid(9, 7));
+
+  class Recorder final : public DistributedAlgorithm {
+   public:
+    std::vector<std::vector<NodeId>> per_round;
+    void initialize(Network& net) override {
+      net.for_nodes([&](NodeId v) {
+        if (v % 3 == 0) net.broadcast(v, Message::tagged(0).add_id(v));
+      });
+    }
+    void process_round(Network& net) override {
+      auto active = net.active_nodes();
+      per_round.emplace_back(active.begin(), active.end());
+      std::sort(per_round.back().begin(), per_round.back().end());
+      net.for_active_nodes([&](NodeId v) {
+        if (v % 2 == 0 && net.current_round() < 3)
+          net.broadcast(v, Message::tagged(1).add_id(v));
+      });
+    }
+    bool finished(const Network& net) const override {
+      return net.current_round() >= 4;
+    }
+  };
+
+  CongestConfig serial_cfg;
+  serial_cfg.threads = 1;
+  Network serial_net(wg, serial_cfg);
+  Recorder serial;
+  serial_net.run(serial, 10);
+
+  CongestConfig wide_cfg;
+  wide_cfg.threads = 8;
+  Network wide_net(wg, wide_cfg);
+  Recorder wide;
+  wide_net.run(wide, 10);
+
+  ASSERT_EQ(serial.per_round.size(), wide.per_round.size());
+  for (std::size_t r = 0; r < serial.per_round.size(); ++r)
+    EXPECT_EQ(serial.per_round[r], wide.per_round[r]) << "round " << r;
 }
 
 }  // namespace
