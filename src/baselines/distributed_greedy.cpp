@@ -66,9 +66,8 @@ void ThresholdGreedyMds::reduce_covered() {
 void ThresholdGreedyMds::process_round(Network& net) {
   switch (stage_) {
     case Stage::kJoin: {
-      const double theta =
-          (static_cast<double>(net.graph().max_degree()) + 1.0) /
-          std::pow(2.0, static_cast<double>(phase_));
+      const double theta = static_cast<double>(delta_plus_1_) /
+                           std::pow(2.0, static_cast<double>(phase_));
       const bool last_call = theta <= 1.0;
       net.for_active_nodes([&](NodeId v) {
         // Absorb "became covered" notices from the previous phase.

@@ -214,9 +214,12 @@ std::size_t wire_encode(const Message& m, NodeId sender,
     const std::uint64_t value = field_wire_value(f, quantized_reals);
     // The wire is lossless for every value the solvers send: ids < n,
     // weights <= the instance maximum, levels/counters within the model's
-    // budget, tags < 16. A wider value here is a solver bug, not a
-    // quantization channel.
-    ARBODS_DCHECK(width >= 64 || (value >> width) == 0);
+    // budget, tags < 16. A wider value here (including a negative integer
+    // field, which sign-extends to all-ones) is a solver bug, not a
+    // quantization channel — fail loudly instead of truncating to garbage.
+    ARBODS_CHECK_MSG(width >= 64 || (value >> width) == 0,
+                     "field " << i << " value " << value << " exceeds "
+                              << width << "-bit wire width");
     put_bits(payload, pos, value, width);
     pos += static_cast<std::size_t>(width);
   }

@@ -78,6 +78,11 @@ struct Field {
 /// Sender-side message builder. Cheap to construct and move: fields are
 /// stored inline (no heap) up to kInlineFields; only oversized diagnostic
 /// messages (cap-enforcement tests and the like) spill to a vector.
+///
+/// Integer fields must be non-negative and fit the MessageSizeModel width
+/// for their kind (ids < 2^id_bits, etc.) — the wire format carries
+/// exactly those bits, and encoding a wider value throws rather than
+/// truncating.
 class Message {
  public:
   static constexpr std::size_t kInlineFields = 8;

@@ -167,9 +167,7 @@ std::size_t Network::worker_slot() const {
 bool Network::lane_spilled(std::size_t worker, EdgeSlot lane) const {
   const WorkerSpill& sp = spills_[worker];
   if (sp.recs.empty()) return false;  // the steady-state answer
-  for (const SpillRec& r : sp.recs)
-    if (r.lane == lane) return true;
-  return false;
+  return sp.lane_marked[lane] != 0;
 }
 
 int Network::deposit_encoded(EdgeSlot lane, const Message& m, NodeId sender) {
@@ -219,6 +217,8 @@ void Network::deposit_words(std::size_t w, EdgeSlot lane,
     len += nwords;
   } else {
     WorkerSpill& sp = spills_[w];
+    if (sp.lane_marked.empty()) sp.lane_marked.assign(lane_receiver_.size(), 0);
+    sp.lane_marked[lane] = 1;
     const std::size_t b = sp.words.size();
     sp.words.insert(sp.words.end(), words, words + nwords);
     sp.recs.push_back({lane, static_cast<std::uint32_t>(b),
@@ -274,7 +274,10 @@ void Network::arm_at(NodeId v, std::int64_t round) {
   ARBODS_CHECK_MSG(round > round_,
                    "arm_at(" << v << ", " << round << ") is not in the future"
                              << " (current round " << round_ << ")");
-  WorkerCalendar& cal = calendars_[worker_slot()];
+  arm_into(calendars_[worker_slot()], v, round);
+}
+
+void Network::arm_into(WorkerCalendar& cal, NodeId v, std::int64_t round) {
   for (;;) {
     CalendarBucket& bucket =
         cal.ring[static_cast<std::size_t>(round) & (cal.ring.size() - 1)];
@@ -311,6 +314,21 @@ void Network::flip_buffers() {
   }
   std::swap(in_arena_, out_arena_);
   std::swap(touched_in_, touched_out_);
+  // A timer bucket due in the round that just ended survives to the flip
+  // only if the algorithm never consulted the active set this round (a
+  // for_nodes-only stage). Carry its arms into the next round instead of
+  // dropping them when the slot is eventually recycled: an arm_at wake is
+  // deferred until the first round the algorithm looks, never lost.
+  for (WorkerCalendar& cal : calendars_) {
+    CalendarBucket& due =
+        cal.ring[static_cast<std::size_t>(round_) & (cal.ring.size() - 1)];
+    if (due.round != round_ || due.nodes.empty()) continue;
+    carry_nodes_.swap(due.nodes);  // arm_into may resize the ring
+    due.round = -1;
+    due.nodes.clear();
+    for (const NodeId v : carry_nodes_) arm_into(cal, v, round_ + 1);
+    carry_nodes_.clear();
+  }
   bool any_spill = false;
   for (const WorkerSpill& sp : spills_) any_spill |= !sp.recs.empty();
   if (any_spill) merge_spills_and_grow();
@@ -382,6 +400,7 @@ void Network::merge_spills_and_grow() {
   *in_arena_ = std::move(new_in);
   *out_arena_ = std::move(new_out);
   for (WorkerSpill& sp : spills_) {
+    for (const SpillRec& r : sp.recs) sp.lane_marked[r.lane] = 0;
     sp.words.clear();
     sp.recs.clear();
   }
@@ -446,6 +465,7 @@ void Network::clear_all_lanes() {
     list.clear();
   }
   for (WorkerSpill& sp : spills_) {
+    for (const SpillRec& r : sp.recs) sp.lane_marked[r.lane] = 0;
     sp.words.clear();
     sp.recs.clear();
   }
@@ -468,8 +488,15 @@ void Network::shrink_scratch() {
   maybe_shrink(active_list_, active_highwater_);
   maybe_shrink(active_scratch_, active_highwater_);
   for (WorkerSpill& sp : spills_) {
+    // A run that ends right after a spilling round leaves records that were
+    // never merged (and never delivered); drop them before releasing the
+    // mark array they index, which costs O(arcs) bytes per worker that
+    // spilled this run and must not outlive the run.
+    sp.words.clear();
+    sp.recs.clear();
     maybe_shrink(sp.words, 0);
     maybe_shrink(sp.recs, 0);
+    std::vector<std::uint8_t>().swap(sp.lane_marked);
   }
 }
 

@@ -286,7 +286,10 @@ class Network {
   /// halves below my degree") sleeps through the interim rounds at zero
   /// cost instead of re-arming every round. A message arriving earlier
   /// wakes it anyway; stale earlier wakes are safe (the node just
-  /// re-checks and re-schedules).
+  /// re-checks and re-schedules). If the algorithm does not consult the
+  /// active set in the target round (a for_nodes-only stage), the wake
+  /// carries forward round by round and fires in the first round that
+  /// does look — deferred, never dropped.
   void arm_at(NodeId v, std::int64_t round);
 
   /// This round's active set (receivers + previously armed). Mainly for
@@ -331,11 +334,18 @@ class Network {
   struct WorkerSpill {
     std::vector<std::uint64_t> words;
     std::vector<SpillRec> recs;
+    // Byte mark per lane (allocated lazily on a worker's first spill, freed
+    // by the post-run shrink) so the has-this-lane-spilled check on every
+    // deposit stays O(1) even on spill-heavy rounds; entries set here are
+    // cleared from `recs` when the spill is merged.
+    std::vector<std::uint8_t> lane_marked;
   };
 
   void flip_buffers();
   void clear_all_lanes();
   void merge_spills_and_grow();
+  struct WorkerCalendar;
+  void arm_into(WorkerCalendar& cal, NodeId v, std::int64_t round);
   void rebuild_active_set();
   void shrink_scratch();
   std::size_t worker_slot() const;
@@ -415,6 +425,9 @@ class Network {
     std::vector<CalendarBucket> ring;  // size is a power of two
   };
   std::vector<WorkerCalendar> calendars_;
+  // Scratch for the flip-time carry of undrained due buckets (the carried
+  // nodes must survive a ring resize inside arm_into).
+  std::vector<NodeId> carry_nodes_;
 
   // Per-run high-water marks driving the post-run scratch shrink policy.
   std::size_t touched_highwater_ = 0;

@@ -6,7 +6,7 @@ namespace arbods {
 
 void TreeMds::initialize(Network& net) {
   const NodeId n = net.num_nodes();
-  in_set_.assign(n, false);
+  in_set_.assign(n, 0);
   stage_ = n == 0 ? Stage::kDone : Stage::kAwaitDegrees;
   // Isolated nodes receive nothing but still must decide, so every node
   // arms itself for the one decision round.
@@ -21,14 +21,14 @@ void TreeMds::process_round(Network& net) {
   net.for_active_nodes([&](NodeId v) {
     const NodeId deg = net.degree(v);
     if (deg >= 2) {
-      in_set_[v] = true;  // internal node
+      in_set_[v] = 1;  // internal node
     } else if (deg == 0) {
-      in_set_[v] = true;  // isolated: nobody else can dominate it
+      in_set_[v] = 1;  // isolated: nobody else can dominate it
     } else {
       // Single neighbor; join only if it is also a leaf and we tie-break.
       const MessageView m = net.inbox(v).front();
       ARBODS_CHECK(m.tag() == kTagDegree);
-      if (m.level_at(1) == 1 && v < m.sender()) in_set_[v] = true;
+      if (m.level_at(1) == 1 && v < m.sender()) in_set_[v] = 1;
     }
   });
   stage_ = Stage::kDone;
@@ -43,7 +43,7 @@ MdsResult TreeMds::result(const Network& net) const {
   ARBODS_CHECK(stage_ == Stage::kDone);
   MdsResult res;
   for (NodeId v = 0; v < net.num_nodes(); ++v)
-    if (in_set_[v]) res.dominating_set.push_back(v);
+    if (in_set_[v] != 0) res.dominating_set.push_back(v);
   res.weight = net.weighted_graph().total_weight(res.dominating_set);
   res.iterations = 1;
   res.stats = net.stats();

@@ -27,7 +27,9 @@ class TreeMds final : public DistributedAlgorithm {
  private:
   enum class Stage { kAwaitDegrees, kDone };
   Stage stage_ = Stage::kAwaitDegrees;
-  std::vector<bool> in_set_;
+  // Byte flags, not std::vector<bool>: process_round writes in_set_[v] from
+  // parallel workers, and packed bits would race across neighbouring nodes.
+  NodeFlags in_set_;
 };
 
 }  // namespace arbods

@@ -512,6 +512,38 @@ TEST(Network, ActiveSetIsReceiversPlusArmedDeduplicated) {
   EXPECT_EQ(p.round2, (std::vector<NodeId>{4}));  // only the re-armed node
 }
 
+// An arm_at wake whose target round never consults the active set (a
+// for_nodes-only stage) is not dropped: it carries forward at each flip and
+// fires in the first round that does look.
+TEST(Network, ArmAtWakeCarriesAcrossActiveSetFreeRounds) {
+  auto wg = WeightedGraph::uniform(gen::path(4));
+
+  class Sleeper final : public DistributedAlgorithm {
+   public:
+    std::vector<std::pair<std::int64_t, NodeId>> wakes;
+    void initialize(Network& net) override { net.arm_at(2, 1); }
+    void process_round(Network& net) override {
+      if (net.current_round() <= 2) {
+        net.for_nodes([](NodeId) {});  // the due wake must survive these
+        return;
+      }
+      net.for_active_nodes(
+          [&](NodeId v) { wakes.push_back({net.current_round(), v}); });
+    }
+    bool finished(const Network& net) const override {
+      return net.current_round() >= 4;
+    }
+  };
+
+  Network net(wg);
+  Sleeper s;
+  net.run(s, 10);
+  // Armed for round 1, deferred through rounds 1-2, delivered in round 3
+  // exactly once, and not redelivered in round 4.
+  EXPECT_EQ(s.wakes,
+            (std::vector<std::pair<std::int64_t, NodeId>>{{3, 2}}));
+}
+
 // The active set is a pure function of the algorithm, not the pool width:
 // contents match between a serial and a wide network at every round.
 TEST(Network, ActiveSetContentsIndependentOfThreadWidth) {
