@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 #include "core/deterministic_mds.hpp"
 #include "core/solvers.hpp"
+#include "protocol/runner.hpp"
 
 using namespace arbods;
 
@@ -36,15 +37,13 @@ int main() {
 
   std::cout << "## (b) completion mode on weighted input\n";
   Table b({"completion", "weight", "certified ratio", "rounds"});
+  Network reused(wg);  // one Network serves every ablation cell below
   for (auto mode : {CompletionMode::kMinWeightNeighbor, CompletionMode::kSelf}) {
     DeterministicMdsParams p;
     p.eps = eps;
     p.alpha = alpha;
     p.completion = mode;
-    Network net(wg);
-    DeterministicMds algo(p);
-    net.run(algo, 1000000);
-    MdsResult res = algo.result(net);
+    MdsResult res = run_deterministic_mds(reused, p);
     res.validate(wg, 1e-5);
     b.add_row({mode == CompletionMode::kSelf ? "self (Thm 3.1)"
                                              : "min-weight neighbor (Thm 1.1)",
@@ -60,19 +59,18 @@ int main() {
            "rounds"});
   const double limit = 1.0 / ((alpha + 1.0) * (1.0 + eps));
   for (double frac : {0.2, 0.5, 0.8, 0.95}) {
-    DeterministicMdsParams p;
-    p.eps = eps;
-    p.alpha = alpha;
-    p.lambda = frac * limit;
-    Network net(wg);
-    DeterministicMds algo(p);
-    net.run(algo, 1000000);
-    MdsResult res = algo.result(net);
+    // Spelled out as an explicit phase list (instead of
+    // run_deterministic_mds) because the ablation wants the partial
+    // phase's own set alongside the final result.
+    PartialDominatingSet partial({eps, frac * limit, alpha});
+    CompletionPhase completion(CompletionMode::kMinWeightNeighbor);
+    protocol::run_protocol(reused, {&partial, &completion});
+    MdsResult res = completion.result(reused);
     res.validate(wg, 1e-5);
     Weight ws = 0;
     for (NodeId v = 0; v < wg.num_nodes(); ++v)
-      if (algo.partial().in_partial_set()[v]) ws += wg.weight(v);
-    c.add_row({Table::fmt(p.lambda.value(), 4), Table::fmt_int(ws),
+      if (partial.in_partial_set()[v]) ws += wg.weight(v);
+    c.add_row({Table::fmt(frac * limit, 4), Table::fmt_int(ws),
                Table::fmt_int(res.weight),
                Table::fmt(res.certified_ratio(), 3),
                Table::fmt_int(res.stats.rounds)});

@@ -1,9 +1,11 @@
 // Experiment 12: simulator scaling — instance size x worker-pool width.
 //
-// Sweeps the scaling corpus tier (src/harness/corpus.hpp) against a list
-// of thread counts for one or more registry solvers and reports one JSON
-// object per run on stdout (a JSON array), ready for plotting or CI
-// artifact upload:
+// A thin shell over the scenario batch runner (src/harness/scenario.hpp):
+// the selected scaling-corpus instances x solvers x thread widths expand
+// into one ScenarioSpec, run on pooled Networks (one Network per
+// (instance, width), constructed once and reused across repeats), and the
+// rows print as one JSON object per run on stdout (a JSON array), ready
+// for plotting or CI artifact upload:
 //
 //   exp12_scaling [--sizes 10000,50000,100000] [--threads 1,2,4,8]
 //                 [--solvers greedy-threshold] [--families tree,forest2,...]
@@ -11,24 +13,20 @@
 //
 // Every (instance, solver) cell is run once per thread count on the SAME
 // cached instance; the simulator guarantees bit-identical MdsResults for
-// every width, which this binary re-checks (`identical` field) so a sweep
-// doubles as an end-to-end determinism audit at scale. With --repeats N a
-// cell is run N extra times after an untimed warm-up run and the reported
-// `seconds` is the median (every repeat is also determinism-checked), so
-// checked-in baselines such as BENCH_exp12.json track the perf trajectory
-// instead of scheduler noise. `--smoke` is the CI preset: one small
-// instance, widths 1 and 4.
-#include <algorithm>
+// every width, which the scenario runner re-checks (`identical` field) so
+// a sweep doubles as an end-to-end determinism audit at scale. With
+// --repeats N a cell is run N extra times after an untimed warm-up run
+// and the reported `seconds` is the median (every repeat is also
+// determinism-checked), so checked-in baselines such as BENCH_exp12.json
+// track the perf trajectory instead of scheduler noise. `--smoke` is the
+// CI preset: one small instance, widths 1 and 4.
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/stopwatch.hpp"
-#include "harness/corpus.hpp"
-#include "harness/oracle.hpp"
-#include "harness/registry.hpp"
+#include "harness/scenario.hpp"
 
 using namespace arbods;
 
@@ -90,78 +88,34 @@ int main(int argc, char** argv) {
   }
   if (repeats < 1) repeats = 1;
 
-  const auto corpus = harness::scaling_corpus();
-  std::cout << "[\n";
-  bool first_row = true;
-  for (const auto& spec : corpus) {
+  harness::ScenarioSpec spec;
+  for (const std::string& name : solvers)
+    spec.solvers.push_back({name, std::nullopt, name});
+  spec.thread_widths = threads;
+  spec.seeds = {seed};
+  spec.repeats = repeats;
+  spec.base_config.seed = seed;
+  // The JSON only reads scalar fields; don't hold one O(n) certificate
+  // per row across a 500k-node sweep.
+  spec.keep_certificates = false;
+
+  std::vector<const harness::CorpusInstance*> instances;
+  for (const auto& scaling_spec : harness::scaling_corpus()) {
     bool size_selected = false;
-    for (int n : sizes) size_selected |= spec.n == static_cast<NodeId>(n);
+    for (int n : sizes) size_selected |= scaling_spec.n == static_cast<NodeId>(n);
     bool family_selected = false;
-    for (const auto& f : families) family_selected |= f == spec.family;
+    for (const auto& f : families) family_selected |= f == scaling_spec.family;
     if (!size_selected || !family_selected) continue;
-
-    const harness::CorpusInstance& inst =
-        harness::scaling_instance(spec, seed);
-    for (const std::string& solver_name : solvers) {
-      const harness::SolverInfo& info = harness::solver(solver_name);
-      harness::SolverParams params = harness::params_for(info, inst);
-
-      MdsResult reference;
-      bool have_reference = false;
-      for (const int w : threads) {
-        params.threads = w;
-        CongestConfig cfg;
-        cfg.seed = seed;
-        // Warm-up run (untimed) when repeating, then median-of-N timing;
-        // every repeat must reproduce the same result bit-for-bit.
-        bool identical = true;
-        MdsResult res;
-        std::vector<double> samples;
-        samples.reserve(static_cast<std::size_t>(repeats));
-        for (int rep = 0; rep < (repeats > 1 ? repeats + 1 : repeats); ++rep) {
-          Stopwatch timer;
-          MdsResult run =
-              harness::run_solver(solver_name, inst.wg, params, cfg);
-          const double seconds = timer.elapsed_seconds();
-          const bool warmup = repeats > 1 && rep == 0;
-          if (!warmup) samples.push_back(seconds);
-          if (!have_reference) {
-            reference = run;
-            have_reference = true;
-          } else {
-            identical &= run.dominating_set == reference.dominating_set &&
-                         run.weight == reference.weight &&
-                         run.stats == reference.stats;
-          }
-          res = std::move(run);
-        }
-        std::sort(samples.begin(), samples.end());
-        const double seconds = samples[samples.size() / 2];
-
-        if (!first_row) std::cout << ",\n";
-        first_row = false;
-        std::cout << "  {\"instance\": \"" << inst.name << "\", \"family\": \""
-                  << spec.family << "\", \"n\": " << spec.n
-                  << ", \"m\": " << inst.wg.graph().num_edges()
-                  << ", \"solver\": \"" << solver_name
-                  << "\", \"threads\": " << w << ", \"seconds\": " << seconds
-                  << ", \"repeats\": " << repeats
-                  << ", \"rounds\": " << res.stats.rounds
-                  << ", \"messages\": " << res.stats.messages
-                  << ", \"total_bits\": " << res.stats.total_bits
-                  << ", \"set_size\": " << res.dominating_set.size()
-                  << ", \"weight\": " << res.weight
-                  << ", \"identical\": " << (identical ? "true" : "false")
-                  << "}";
-        if (!identical) {
-          std::cerr << "DETERMINISM VIOLATION: " << inst.name << " / "
-                    << solver_name << " at threads=" << w << "\n";
-          std::cout << "\n]\n";
-          return 1;
-        }
-      }
-    }
+    instances.push_back(&harness::scaling_instance(scaling_spec, seed));
   }
-  std::cout << "\n]\n";
+
+  const auto rows = harness::run_scenario(spec, instances);
+  harness::write_scenario_json(std::cout, rows);
+  for (const auto& row : rows) {
+    if (row.identical) continue;
+    std::cerr << "DETERMINISM VIOLATION: " << row.instance << " / "
+              << row.solver << " at threads=" << row.threads << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -25,7 +25,7 @@ int main() {
         harness::SolverParams params;
         params.alpha = inst.alpha;
         params.eps = eps;
-        MdsResult res = solver.run(inst.wg, params, CongestConfig{});
+        MdsResult res = harness::run_solver(solver.name, inst.wg, params);
         res.validate(inst.wg, 1e-5);
         // Exact LP bound only where the simplex is fast (small n).
         const bool has_lp = inst.wg.num_nodes() <= 600;

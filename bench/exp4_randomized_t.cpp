@@ -1,8 +1,13 @@
 // E4 — Theorem 1.2: the t trade-off. Ratio approaches alpha as t grows;
 // rounds grow linearly in t. Compared against Theorem 1.1 on the same
 // instance (the paper's point: ~alpha instead of ~2*alpha).
+//
+// Runs as one scenario: the deterministic solver plus the randomized
+// solver at t in {1,2,4,8}, x 3 seeds, all on one pooled Network per
+// seed (the scenario runner resets it between cells).
 #include "bench_util.hpp"
 #include "core/solvers.hpp"
+#include "harness/scenario.hpp"
 
 using namespace arbods;
 
@@ -12,25 +17,38 @@ int main() {
   const NodeId alpha = 8;
   Graph g = gen::k_tree_union(4096, alpha, rng);
   auto w = gen::uniform_weights(4096, 100, rng);
-  WeightedGraph wg(std::move(g), std::move(w));
+  harness::CorpusInstance inst{"forest8_n4096", WeightedGraph(std::move(g), std::move(w)),
+                               alpha, /*forest=*/false, /*unit_weights=*/false,
+                               "forest8"};
 
-  MdsResult det = solve_mds_deterministic(wg, alpha, 0.1);
-  det.validate(wg, 1e-5);
+  MdsResult det = solve_mds_deterministic(inst.wg, alpha, 0.1);
+  det.validate(inst.wg, 1e-5);
+
+  harness::ScenarioSpec spec;
+  for (const std::int64_t tt : {1, 2, 4, 8}) {
+    harness::SolverParams params;
+    params.alpha = alpha;
+    params.t = tt;
+    spec.solvers.push_back(
+        {"randomized", params, "randomized_t" + std::to_string(tt)});
+  }
+  spec.seeds = {5000, 5097, 5194};  // 5000 + 97 * s
+  spec.validate = true;
+  const std::vector<const harness::CorpusInstance*> instances = {&inst};
+  const auto rows = harness::run_scenario(spec, instances);
 
   Table t({"algorithm", "t", "weight (avg of 3 seeds)", "certified ratio",
            "rounds", "fallback"});
   t.add_row({"Thm 1.1 det (eps=0.1)", "-", Table::fmt_int(det.weight),
              Table::fmt(det.certified_ratio(), 3),
              Table::fmt_int(det.stats.rounds), "-"});
-  for (std::int64_t tt : {1, 2, 4, 8}) {
+  int idx = 0;
+  for (const std::int64_t tt : {1, 2, 4, 8}) {
     double weight_sum = 0, ratio_sum = 0, rounds_sum = 0;
     bool any_fallback = false;
-    const int kSeeds = 3;
+    const int kSeeds = static_cast<int>(spec.seeds.size());
     for (int s = 0; s < kSeeds; ++s) {
-      CongestConfig cfg;
-      cfg.seed = 5000 + 97 * s;
-      MdsResult res = solve_mds_randomized(wg, alpha, tt, cfg);
-      res.validate(wg, 1e-5);
+      const MdsResult& res = rows[static_cast<std::size_t>(idx++)].result;
       weight_sum += static_cast<double>(res.weight);
       ratio_sum += res.certified_ratio();
       rounds_sum += static_cast<double>(res.stats.rounds);

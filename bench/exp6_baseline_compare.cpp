@@ -8,6 +8,7 @@
 #include "baselines/distributed_greedy.hpp"
 #include "baselines/greedy.hpp"
 #include "harness/oracle.hpp"
+#include "harness/scenario.hpp"
 
 using namespace arbods;
 
@@ -50,40 +51,34 @@ int main() {
               << ", LP bound = " << Table::fmt(lp, 1) << ")\n";
     std::vector<Row> rows;
 
-    // Ours: everything in the registry that applies to this instance
-    // (cardinality-only solvers are skipped on weighted instances — their
-    // weight column would not be a weighted-MDS result).
+    // Ours + the distributed baselines: one scenario over every registry
+    // solver that applies to this instance (cardinality-only solvers are
+    // skipped on weighted instances — their weight column would not be a
+    // weighted-MDS result), all sharing one pooled Network.
+    harness::ScenarioSpec spec;
     for (const auto& info : harness::all_solvers()) {
       if (!harness::solver_applicable(info, inst)) continue;
       if (info.bound_needs_unit_weights && !inst.unit_weights) continue;
       harness::SolverParams params = harness::params_for(info, inst);
       params.eps = 0.2;  // historical E6 configuration
       params.t = 4;
-      MdsResult res = harness::run_solver(info.name, inst.wg, params);
-      res.validate(inst.wg, 1e-5);
-      rows.push_back({"ours " + std::string(info.theorem) + " (" +
-                          std::string(info.name) + ")",
-                      double(res.weight), std::to_string(res.stats.rounds)});
+      spec.solvers.push_back({std::string(info.name), params,
+                              "ours " + std::string(info.theorem) + " (" +
+                                  std::string(info.name) + ")"});
+    }
+    // The LW-style distributed baselines run on every instance (weighted
+    // included — they just ignore weights), as contrast rows.
+    spec.solvers.push_back(
+        {"greedy-threshold", std::nullopt, "LW10-style det greedy"});
+    spec.solvers.push_back(
+        {"greedy-election", std::nullopt, "election heuristic"});
+    spec.validate = true;
+    const std::vector<const harness::CorpusInstance*> instances = {&inst};
+    for (const auto& cell : harness::run_scenario(spec, instances)) {
+      rows.push_back({cell.solver, double(cell.result.weight),
+                      std::to_string(cell.result.stats.rounds)});
     }
 
-    {
-      Network net(inst.wg);
-      baselines::ThresholdGreedyMds tg;
-      net.run(tg, 100000);
-      MdsResult r = tg.result(net);
-      r.validate(inst.wg);
-      rows.push_back({"LW10-style det greedy", double(r.weight),
-                      std::to_string(r.stats.rounds)});
-    }
-    {
-      Network net(inst.wg);
-      baselines::ElectionGreedyMds eg;
-      net.run(eg, 100000);
-      MdsResult r = eg.result(net);
-      r.validate(inst.wg);
-      rows.push_back({"election heuristic", double(r.weight),
-                      std::to_string(r.stats.rounds)});
-    }
     {
       auto set = baselines::greedy_dominating_set(inst.wg);
       rows.push_back({"Johnson greedy", double(inst.wg.total_weight(set)),

@@ -26,7 +26,8 @@
 #include "gen/trees.hpp"
 #include "gen/weights.hpp"
 #include "graph/io.hpp"
-#include "harness/registry.hpp"
+#include "graph/stats.hpp"
+#include "harness/scenario.hpp"
 
 using namespace arbods;
 
@@ -128,18 +129,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  CongestConfig cfg;
-  cfg.seed = seed;
+  // A CLI invocation is a one-cell scenario: one solver x one instance x
+  // one width, run through the same batch engine as the exp* sweeps.
   const harness::SolverInfo& info = harness::solver(algo);
-  MdsResult res;
+  harness::CorpusInstance inst{"cli", std::move(wg), params.alpha,
+                               /*forest=*/false, weights == "unit", family};
+  inst.forest = is_forest(inst.wg.graph());
+  harness::ScenarioSpec spec;
+  const int width = params.threads >= 0 ? params.threads : 1;
+  params.threads = -1;
+  spec.solvers.push_back({std::string(algo), params, std::string(algo)});
+  spec.thread_widths = {width};
+  spec.seeds = {seed};
+  spec.skip_inapplicable = false;
+  spec.validate = false;  // validated below with an explicit tolerance
+  spec.base_config.seed = seed;
+
+  const std::vector<const harness::CorpusInstance*> instances = {&inst};
+  std::vector<harness::ScenarioRow> rows;
   try {
-    res = harness::run_solver(algo, wg, params, cfg);
+    rows = harness::run_scenario(spec, instances);
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  const MdsResult& res = rows.front().result;
 
-  res.validate(wg, 1e-5);
+  res.validate(inst.wg, 1e-5);
   std::cout << "solver:          " << info.name << " (" << info.theorem
             << ", " << info.guarantee << ")\n"
             << "set size:        " << res.dominating_set.size() << "\n"
@@ -149,7 +165,11 @@ int main(int argc, char** argv) {
     std::cout << "certified ratio: " << res.certified_ratio() << "\n";
   std::cout << "CONGEST rounds:  " << res.stats.rounds << "\n"
             << "messages:        " << res.stats.messages << "\n"
-            << "max msg bits:    " << res.stats.max_message_bits << "\n"
-            << "verified:        OK\n";
+            << "max msg bits:    " << res.stats.max_message_bits << "\n";
+  for (const PhaseStats& phase : res.stats.phases)
+    std::cout << "  phase " << phase.name << ": " << phase.rounds
+              << " rounds, " << phase.messages << " messages, "
+              << phase.total_bits << " bits\n";
+  std::cout << "verified:        OK\n";
   return 0;
 }

@@ -20,13 +20,15 @@
 #include <vector>
 
 #include "core/mds_result.hpp"
+#include "protocol/phase.hpp"
 
 namespace arbods::baselines {
 
-class ThresholdGreedyMds final : public DistributedAlgorithm {
+class ThresholdGreedyMds final : public protocol::Phase {
  public:
   ThresholdGreedyMds() = default;
 
+  std::string_view name() const override { return "greedy_threshold"; }
   void initialize(Network& net) override;
   void process_round(Network& net) override;
   bool finished(const Network& net) const override;
@@ -52,10 +54,11 @@ class ThresholdGreedyMds final : public DistributedAlgorithm {
   NodeId num_uncovered_ = 0;
 };
 
-class ElectionGreedyMds final : public DistributedAlgorithm {
+class ElectionGreedyMds final : public protocol::Phase {
  public:
   ElectionGreedyMds() = default;
 
+  std::string_view name() const override { return "greedy_election"; }
   void initialize(Network& net) override;
   void process_round(Network& net) override;
   bool finished(const Network& net) const override;

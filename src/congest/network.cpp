@@ -135,6 +135,14 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
   node_rngs_.reserve(n);
   Rng base(config_.seed);
   for (NodeId v = 0; v < n; ++v) node_rngs_.push_back(base.split(v));
+  rng_streams_fresh_ = true;
+}
+
+void Network::reseed_node_rngs() {
+  if (rng_streams_fresh_) return;
+  Rng base(config_.seed);
+  for (NodeId v = 0; v < num_nodes(); ++v) node_rngs_[v] = base.split(v);
+  rng_streams_fresh_ = true;
 }
 
 int Network::num_workers() const { return pool_ ? pool_->num_workers() : 1; }
@@ -506,6 +514,8 @@ void Network::reduce_stats() {
     stats_.total_bits += slot.total_bits;
     stats_.max_message_bits =
         std::max(stats_.max_message_bits, slot.max_message_bits);
+    phase_max_message_bits_ =
+        std::max(phase_max_message_bits_, slot.max_message_bits);
     slot = WorkerStats{};
   }
   // int64 gives headroom of ~9e18 bits; a wrap would show up as a sign
@@ -533,29 +543,68 @@ void Network::run_index_chunks(
   pool_->run(worker_fn);
 }
 
-RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {
+void Network::reset_for_reuse() {
   stats_ = RunStats{};
   for (WorkerStats& slot : worker_stats_) slot = WorkerStats{};
   round_ = 0;
+  phase_max_message_bits_ = 0;
   touched_highwater_ = 0;
   armed_highwater_ = 0;
   active_highwater_ = 0;
   clear_all_lanes();
+  reseed_node_rngs();
+}
+
+const PhaseStats& Network::run_phase(DistributedAlgorithm& algo,
+                                     std::string_view phase_name,
+                                     std::int64_t max_rounds) {
+  // Phase-local reset: a phase begins exactly where a freshly constructed
+  // Network would (round 0, no pending messages or timers, fresh RNG
+  // streams), so decomposing a driver that ran one Network per phase into
+  // run_phase calls on one reused Network is bit-identical. Undelivered
+  // messages from the previous phase are dropped, matching the old
+  // drivers' per-phase Networks; statistics counted them at send time.
+  round_ = 0;
+  clear_all_lanes();
+  reseed_node_rngs();
+  rng_streams_fresh_ = false;  // this phase now owns (and advances) them
+  const std::int64_t messages_before = stats_.messages;
+  const std::int64_t bits_before = stats_.total_bits;
+  phase_max_message_bits_ = 0;
+  std::int64_t phase_rounds = 0;
+  bool hit_limit = false;
 
   algo.initialize(*this);
   reduce_stats();
   while (!algo.finished(*this)) {
-    if (stats_.rounds >= max_rounds) {
+    if (phase_rounds >= max_rounds) {
+      hit_limit = true;
       stats_.hit_round_limit = true;
       break;
     }
     flip_buffers();
     ++round_;
     ++stats_.rounds;
+    ++phase_rounds;
     algo.process_round(*this);
     reduce_stats();
   }
   shrink_scratch();
+
+  PhaseStats ps;
+  ps.name.assign(phase_name);
+  ps.rounds = phase_rounds;
+  ps.messages = stats_.messages - messages_before;
+  ps.total_bits = stats_.total_bits - bits_before;
+  ps.max_message_bits = phase_max_message_bits_;
+  ps.hit_round_limit = hit_limit;
+  stats_.phases.push_back(std::move(ps));
+  return stats_.phases.back();
+}
+
+RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {
+  reset_for_reuse();
+  run_phase(algo, "main", max_rounds);
   return stats_;
 }
 

@@ -54,6 +54,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/function_ref.hpp"
@@ -86,6 +88,8 @@ struct CongestConfig {
   /// once and regrow individually. Tests set a tiny value to exercise the
   /// spill/regrow path.
   int lane_capacity_words_hint = 0;
+
+  friend bool operator==(const CongestConfig&, const CongestConfig&) = default;
 };
 
 /// The per-message bit cap a Network with this config enforces on an
@@ -93,12 +97,30 @@ struct CongestConfig {
 /// number the simulator uses.
 int congest_message_cap(const CongestConfig& config, NodeId n);
 
+/// One named phase's share of a run: every run_phase() call appends one
+/// entry to RunStats::phases, so composed protocols get a per-phase
+/// rounds/messages/bits breakdown for free. The sum over phases equals
+/// the whole-run totals (tested for every registry solver).
+struct PhaseStats {
+  std::string name;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t total_bits = 0;
+  int max_message_bits = 0;
+  bool hit_round_limit = false;
+
+  friend bool operator==(const PhaseStats&, const PhaseStats&) = default;
+};
+
 struct RunStats {
   std::int64_t rounds = 0;            // process_round invocations
   std::int64_t messages = 0;          // per-edge message deliveries
   std::int64_t total_bits = 0;        // sum of message widths
   int max_message_bits = 0;           // widest single message observed
   bool hit_round_limit = false;
+  /// Per-phase breakdown, one entry per run_phase() call (a plain run()
+  /// is a single phase named "main").
+  std::vector<PhaseStats> phases;
 
   friend bool operator==(const RunStats&, const RunStats&) = default;
 };
@@ -309,9 +331,39 @@ class Network {
 
   // --- driving ---
   /// Runs until algo.finished() or max_rounds; returns statistics.
+  /// Equivalent to reset_for_reuse() followed by one run_phase("main"):
+  /// the run starts from the fresh-construction observable state however
+  /// dirty the Network is, so a Network can be reused across runs with
+  /// bit-identical results.
   RunStats run(DistributedAlgorithm& algo, std::int64_t max_rounds = 1'000'000);
 
+  /// Restores the fresh-construction *observable* state — round 0, empty
+  /// lanes/timer wheels/active set, zeroed statistics, per-node RNG
+  /// streams re-derived from the config seed — while keeping every
+  /// allocation alive: arenas (at their grown sizes), worker pool,
+  /// per-worker scratch, RNG stream storage. A run after reset_for_reuse
+  /// is byte-identical to a run on a newly constructed Network over the
+  /// same graph/config, minus the construction cost (tested).
+  void reset_for_reuse();
+
+  /// Runs one named phase of a composed protocol on this Network and
+  /// appends its PhaseStats to stats().phases, accumulating into the
+  /// run totals. Every phase starts from the fresh-construction
+  /// observable state (round 0, empty lanes/timers, freshly seeded RNG
+  /// streams) exactly as if it ran on its own Network — which is what
+  /// the pre-phase drivers did — but reuses all storage. Cumulative
+  /// statistics (stats()) are NOT reset; callers composing several
+  /// phases call reset_for_reuse() once up front (ProtocolRunner does).
+  const PhaseStats& run_phase(DistributedAlgorithm& algo,
+                              std::string_view phase_name,
+                              std::int64_t max_rounds = 1'000'000);
+
   const RunStats& stats() const { return stats_; }
+
+  /// Total arena size in 64-bit words (both double buffers have this
+  /// size). Diagnostics/tests only — the alloc regression uses it to
+  /// pin "arena storage is constructed exactly once per Network".
+  std::size_t arena_words() const { return arena_words_; }
 
  private:
   /// Lane index into the flat per-directed-edge buffers.
@@ -343,6 +395,7 @@ class Network {
 
   void flip_buffers();
   void clear_all_lanes();
+  void reseed_node_rngs();
   void merge_spills_and_grow();
   struct WorkerCalendar;
   void arm_into(WorkerCalendar& cal, NodeId v, std::int64_t round);
@@ -437,7 +490,16 @@ class Network {
   std::vector<WorkerStats> worker_stats_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<Rng> node_rngs_;
+  // True while node_rngs_ hold untouched seed-derived streams (set by
+  // construction/reseed, cleared when a phase starts consuming them), so
+  // back-to-back reset_for_reuse + run_phase pays one O(n) reseed, not
+  // two. Driver-thread only.
+  bool rng_streams_fresh_ = false;
   RunStats stats_;
+  // Widest message observed since the current phase opened (the totals'
+  // max is not decomposable into per-phase deltas, so it is tracked
+  // separately alongside the per-round reduction).
+  int phase_max_message_bits_ = 0;
 };
 
 }  // namespace arbods

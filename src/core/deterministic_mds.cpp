@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "graph/verify.hpp"
+#include "protocol/runner.hpp"
 
 namespace arbods {
 
@@ -9,47 +10,38 @@ double theorem11_lambda(NodeId alpha, double eps) {
   return 1.0 / ((2.0 * static_cast<double>(alpha) + 1.0) * (1.0 + eps));
 }
 
-namespace {
-PartialDsParams make_partial_params(const DeterministicMdsParams& p) {
-  PartialDsParams pp;
-  pp.eps = p.eps;
-  pp.alpha = p.alpha;
-  pp.lambda = p.lambda.value_or(theorem11_lambda(p.alpha, p.eps));
-  return pp;
-}
-}  // namespace
+CompletionPhase::CompletionPhase(CompletionMode mode) : mode_(mode) {}
 
-DeterministicMds::DeterministicMds(DeterministicMdsParams params)
-    : params_(params), partial_(make_partial_params(params)) {}
-
-void DeterministicMds::initialize(Network& net) {
-  stage_ = net.num_nodes() == 0 ? Stage::kDone : Stage::kPartial;
-  in_final_.assign(net.num_nodes(), false);
-  partial_.initialize(net);
+void CompletionPhase::bind(protocol::PhaseContext& ctx) {
+  partial_ = ctx.share<PartialDsHandoff>();
+  ARBODS_CHECK_MSG(partial_ != nullptr,
+                   "CompletionPhase requires a preceding partial_ds phase "
+                   "(no PartialDsHandoff published)");
 }
 
-void DeterministicMds::process_round(Network& net) {
+void CompletionPhase::initialize(Network& net) {
+  const NodeId n = net.num_nodes();
+  ARBODS_CHECK(partial_ != nullptr && partial_->in_set.size() == n);
+  in_final_.assign(n, false);
+  net.for_nodes([&](NodeId v) { in_final_[v] = partial_->in_set[v]; });
+  if (n == 0) {
+    stage_ = Stage::kDone;
+    return;
+  }
+  // The request waits for round 1 rather than firing here: the round
+  // count then matches the pre-decomposition driver exactly (the copy
+  // above is the work its phase-transition round did).
+  stage_ = mode_ == CompletionMode::kSelf ? Stage::kCompletionJoin
+                                          : Stage::kRequest;
+}
+
+void CompletionPhase::process_round(Network& net) {
   switch (stage_) {
-    case Stage::kPartial: {
-      partial_.process_round(net);
-      if (!partial_.finished(net)) break;
-      net.for_nodes(
-          [&](NodeId v) { in_final_[v] = partial_.in_partial_set()[v]; });
-      // Completion starts next round; kSelf needs no communication at all
-      // but we keep one announce round so neighbors learn their dominator
-      // (each node must know whether it is in the output set — it does —
-      // and the round count stays O(1) extra either way).
-      stage_ = params_.completion == CompletionMode::kSelf
-                   ? Stage::kCompletionJoin
-                   : Stage::kRequest;
-      break;
-    }
-
     case Stage::kRequest: {
       // Every undominated v asks the tau-witness in N+(v) to join.
       net.for_nodes([&](NodeId v) {
-        if (partial_.dominated()[v]) return;
-        const NodeId target = partial_.tau_witness()[v];
+        if (partial_->dominated[v]) return;
+        const NodeId target = partial_->tau_witness[v];
         if (target == v) {
           in_final_[v] = true;  // v itself carries tau_v
         } else {
@@ -61,13 +53,13 @@ void DeterministicMds::process_round(Network& net) {
     }
 
     case Stage::kCompletionJoin: {
-      if (params_.completion == CompletionMode::kSelf) {
+      if (mode_ == CompletionMode::kSelf) {
         net.for_nodes([&](NodeId v) {
-          if (!partial_.dominated()[v]) in_final_[v] = true;
+          if (!partial_->dominated[v]) in_final_[v] = true;
         });
       } else {
         // The active set this round is exactly the kTagRequest receivers
-        // (the partial stage is quiescent), so the completion costs
+        // (the partial phase is quiescent), so the completion costs
         // O(undominated), not O(n).
         net.for_active_nodes([&](NodeId u) {
           for (const MessageView m : net.inbox(u)) {
@@ -87,22 +79,37 @@ void DeterministicMds::process_round(Network& net) {
   }
 }
 
-bool DeterministicMds::finished(const Network& net) const {
+bool CompletionPhase::finished(const Network& net) const {
   (void)net;
   return stage_ == Stage::kDone;
 }
 
-MdsResult DeterministicMds::result(const Network& net) const {
+MdsResult CompletionPhase::result(const Network& net) const {
   ARBODS_CHECK(stage_ == Stage::kDone);
   MdsResult res;
   for (NodeId v = 0; v < net.num_nodes(); ++v)
     if (in_final_[v]) res.dominating_set.push_back(v);
   res.weight = net.weighted_graph().total_weight(res.dominating_set);
-  res.packing = partial_.packing();
+  res.packing = partial_->packing;
   res.packing_lower_bound = packing_lower_bound(res.packing);
-  res.iterations = partial_.iterations();
+  res.iterations = partial_->iterations;
   res.stats = net.stats();
   return res;
+}
+
+MdsResult run_deterministic_mds(Network& net,
+                                const DeterministicMdsParams& params,
+                                std::int64_t max_rounds_per_phase) {
+  PartialDsParams pp;
+  pp.eps = params.eps;
+  pp.alpha = params.alpha;
+  pp.lambda = params.lambda.value_or(theorem11_lambda(params.alpha, params.eps));
+  PartialDominatingSet partial(pp);
+  CompletionPhase completion(params.completion);
+  const RunStats stats =
+      protocol::run_protocol(net, {&partial, &completion}, max_rounds_per_phase);
+  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return completion.result(net);
 }
 
 }  // namespace arbods

@@ -2,13 +2,19 @@
 // (2alpha+1)(1+eps)-approximate MDS in O(log(Delta/alpha)/eps) CONGEST
 // rounds, deterministic.
 //
-// Structure: run Lemma 4.1 with lambda = 1/((2alpha+1)(1+eps)); then every
-// still-undominated node v brings one dominator into the set:
+// Structure (a two-phase ProtocolRunner pipeline): run Lemma 4.1
+// (core/partial_ds.hpp) with lambda = 1/((2alpha+1)(1+eps)); then the
+// CompletionPhase brings one dominator per still-undominated node v into
+// the set:
 //   * kMinWeightNeighbor (Thm 1.1): the node of weight tau_v in N+(v)
 //     (v knows it from the weight prologue; 2 completion rounds), or
 //   * kSelf (Thm 3.1, unweighted): v itself (1 completion round).
+// The CompletionPhase binds against the PartialDsHandoff the partial
+// phase publishes; run_deterministic_mds composes the two on a caller
+// -provided (reusable) Network.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/mds_result.hpp"
@@ -29,29 +35,41 @@ struct DeterministicMdsParams {
   std::optional<double> lambda;
 };
 
-class DeterministicMds final : public DistributedAlgorithm {
+/// Completion of Theorem 1.1/3.1 as a reusable phase: every node left
+/// undominated by the preceding partial_ds phase pulls its tau-witness
+/// (or itself) into the final set. Reads the PartialDsHandoff.
+class CompletionPhase final : public protocol::Phase {
  public:
-  explicit DeterministicMds(DeterministicMdsParams params);
+  explicit CompletionPhase(CompletionMode mode);
 
+  std::string_view name() const override { return "completion"; }
+  void bind(protocol::PhaseContext& ctx) override;
   void initialize(Network& net) override;
   void process_round(Network& net) override;
   bool finished(const Network& net) const override;
 
-  /// Assembles the result (valid once finished).
+  /// Assembles the result (valid once finished): S union S', the packing
+  /// certificate and iteration count inherited from the partial phase,
+  /// and the Network's accumulated (all-phase) statistics.
   MdsResult result(const Network& net) const;
-
-  const PartialDominatingSet& partial() const { return partial_; }
 
   static constexpr int kTagRequest = 4;
 
  private:
-  enum class Stage { kPartial, kRequest, kCompletionJoin, kDone };
+  enum class Stage { kRequest, kCompletionJoin, kDone };
 
-  DeterministicMdsParams params_;
-  PartialDominatingSet partial_;
-  Stage stage_ = Stage::kPartial;
+  CompletionMode mode_;
+  std::shared_ptr<const PartialDsHandoff> partial_;
+  Stage stage_ = Stage::kRequest;
   NodeFlags in_final_;  // S union S'
 };
+
+/// Composes partial_ds + completion on the caller's Network (constructed
+/// once, reusable): the Theorem 1.1 / Theorem 3.1 pipeline, with the
+/// per-phase statistics breakdown in the returned result's stats.
+MdsResult run_deterministic_mds(Network& net,
+                                const DeterministicMdsParams& params,
+                                std::int64_t max_rounds_per_phase = 1'000'000);
 
 /// The lambda of Theorem 1.1.
 double theorem11_lambda(NodeId alpha, double eps);

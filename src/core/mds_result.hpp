@@ -34,6 +34,11 @@ struct MdsResult {
   /// Simulator statistics for the full run (all composed phases).
   RunStats stats;
 
+  /// Bitwise equality over every field (packing doubles compared
+  /// exactly, statistics including the per-phase breakdown) — the
+  /// determinism audits' single source of truth.
+  friend bool operator==(const MdsResult&, const MdsResult&) = default;
+
   /// weight / packing_lower_bound: an upper bound on the achieved
   /// approximation ratio (>= the true ratio since the bound is <= OPT).
   /// Requires a non-trivial packing.

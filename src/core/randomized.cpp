@@ -16,6 +16,17 @@ RandomizedExtension::RandomizedExtension(RandomizedExtensionParams params,
   ARBODS_CHECK_MSG(params_.gamma > 1.0, "gamma must exceed 1");
 }
 
+void RandomizedExtension::bind(protocol::PhaseContext& ctx) {
+  if (seed_.has_value()) return;
+  if (const PartialDsHandoff* h = ctx.find<PartialDsHandoff>()) {
+    ExtensionSeed seed;
+    seed.in_set = h->in_set;
+    seed.dominated = h->dominated;
+    seed.packing = h->packing;
+    seed_ = std::move(seed);
+  }
+}
+
 void RandomizedExtension::reduce_dominated() {
   for (WorkerCounter& d : dominated_delta_) {
     ARBODS_CHECK(static_cast<std::int64_t>(num_undominated_) >= d.value);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/mds_result.hpp"
+#include "core/partial_ds.hpp"
 
 namespace arbods {
 
@@ -44,11 +45,17 @@ struct ExtensionSeed {
   std::vector<double> packing;   // x
 };
 
-class RandomizedExtension final : public DistributedAlgorithm {
+class RandomizedExtension final : public protocol::Phase {
  public:
+  /// With std::nullopt the phase runs unseeded (Theorem 1.3) — unless a
+  /// preceding partial_ds phase published a PartialDsHandoff, which
+  /// bind() adopts as the seed (Theorem 1.2's composition). An explicit
+  /// seed always wins.
   RandomizedExtension(RandomizedExtensionParams params,
                       std::optional<ExtensionSeed> seed);
 
+  std::string_view name() const override { return "extension"; }
+  void bind(protocol::PhaseContext& ctx) override;
   void initialize(Network& net) override;
   void process_round(Network& net) override;
   bool finished(const Network& net) const override;

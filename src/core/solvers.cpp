@@ -10,51 +10,55 @@
 #include "core/randomized.hpp"
 #include "core/tree_mds.hpp"
 #include "core/unknown_params.hpp"
+#include "protocol/runner.hpp"
 
 namespace arbods {
 
 namespace {
 
-void accumulate(RunStats& into, const RunStats& from) {
-  into.rounds += from.rounds;
-  into.messages += from.messages;
-  into.total_bits += from.total_bits;
-  into.max_message_bits = std::max(into.max_message_bits, from.max_message_bits);
-  into.hit_round_limit = into.hit_round_limit || from.hit_round_limit;
+std::int64_t round_budget(const Network& net) {
+  // Generous a-priori bound per phase: every algorithm here is O(polylog)
+  // rounds, but the unknown-parameter variants scale with
+  // log n * log W / eps.
+  return 400000 + 40 * static_cast<std::int64_t>(net.num_nodes());
 }
 
-std::int64_t round_budget(const WeightedGraph& wg) {
-  // Generous a-priori bound: every algorithm here is O(polylog) rounds,
-  // but the unknown-parameter variants scale with log n * log W / eps.
-  return 400000 + 40 * static_cast<std::int64_t>(wg.num_nodes());
+void check_budget(const RunStats& stats) {
+  ARBODS_CHECK_MSG(!stats.hit_round_limit,
+                   "round budget exceeded (phase '"
+                       << (stats.phases.empty() ? "?"
+                                                : stats.phases.back().name)
+                       << "')");
 }
 
 }  // namespace
 
-MdsResult solve_mds_deterministic(const WeightedGraph& wg, NodeId alpha,
-                                  double eps, CongestConfig config) {
-  Network net(wg, config);
+MdsResult solve_mds_deterministic(Network& net, NodeId alpha, double eps) {
   DeterministicMdsParams params;
   params.eps = eps;
   params.alpha = alpha;
   params.completion = CompletionMode::kMinWeightNeighbor;
-  DeterministicMds algo(params);
-  RunStats stats = net.run(algo, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
-  return algo.result(net);
+  return run_deterministic_mds(net, params, round_budget(net));
+}
+
+MdsResult solve_mds_deterministic(const WeightedGraph& wg, NodeId alpha,
+                                  double eps, CongestConfig config) {
+  Network net(wg, config);
+  return solve_mds_deterministic(net, alpha, eps);
+}
+
+MdsResult solve_mds_unweighted(Network& net, NodeId alpha, double eps) {
+  DeterministicMdsParams params;
+  params.eps = eps;
+  params.alpha = alpha;
+  params.completion = CompletionMode::kSelf;
+  return run_deterministic_mds(net, params, round_budget(net));
 }
 
 MdsResult solve_mds_unweighted(const WeightedGraph& wg, NodeId alpha,
                                double eps, CongestConfig config) {
   Network net(wg, config);
-  DeterministicMdsParams params;
-  params.eps = eps;
-  params.alpha = alpha;
-  params.completion = CompletionMode::kSelf;
-  DeterministicMds algo(params);
-  RunStats stats = net.run(algo, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
-  return algo.result(net);
+  return solve_mds_unweighted(net, alpha, eps);
 }
 
 Theorem12Params theorem12_params(NodeId alpha, std::int64_t t) {
@@ -67,64 +71,72 @@ Theorem12Params theorem12_params(NodeId alpha, std::int64_t t) {
   return p;
 }
 
-MdsResult solve_mds_randomized(const WeightedGraph& wg, NodeId alpha,
-                               std::int64_t t, CongestConfig config) {
+MdsResult solve_mds_randomized(Network& net, NodeId alpha, std::int64_t t) {
   const Theorem12Params sched = theorem12_params(alpha, t);
-
-  // Phase 1: Lemma 4.1.
-  Network net1(wg, config);
-  PartialDsParams pp;
-  pp.eps = sched.eps;
-  pp.lambda = sched.lambda;
-  pp.alpha = alpha;
-  PartialDominatingSet partial(pp);
-  RunStats stats1 = net1.run(partial, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats1.hit_round_limit, "round budget exceeded (phase 1)");
-
-  // Phase 2: Lemma 4.6 seeded with (S, x).
-  ExtensionSeed seed;
-  seed.in_set = partial.in_partial_set();
-  seed.dominated = partial.dominated();
-  seed.packing = partial.packing();
-
-  Network net2(wg, config);
-  RandomizedExtensionParams ep;
-  ep.lambda = sched.lambda;
-  ep.gamma = sched.gamma;
-  RandomizedExtension ext(ep, std::move(seed));
-  RunStats stats2 = net2.run(ext, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats2.hit_round_limit, "round budget exceeded (phase 2)");
-
-  MdsResult res = ext.result(net2);
-  accumulate(res.stats, stats1);
+  // Theorem 1.2: Lemma 4.1 hands (S, x) to Lemma 4.6 via the phase
+  // context; both phases share net's arenas/pool/RNG storage.
+  PartialDominatingSet partial({sched.eps, sched.lambda, alpha});
+  RandomizedExtension ext({sched.lambda, sched.gamma}, std::nullopt);
+  check_budget(protocol::run_protocol(net, {&partial, &ext},
+                                      round_budget(net)));
+  MdsResult res = ext.result(net);
   res.iterations = partial.iterations() + ext.phases();
   return res;
 }
 
-MdsResult solve_mds_general(const WeightedGraph& wg, int k,
-                            CongestConfig config) {
-  ARBODS_CHECK(k >= 1);
-  const double delta = static_cast<double>(wg.graph().max_degree());
+MdsResult solve_mds_randomized(const WeightedGraph& wg, NodeId alpha,
+                               std::int64_t t, CongestConfig config) {
   Network net(wg, config);
+  return solve_mds_randomized(net, alpha, t);
+}
+
+MdsResult solve_mds_general(Network& net, int k) {
+  ARBODS_CHECK(k >= 1);
+  const double delta = static_cast<double>(net.graph().max_degree());
   RandomizedExtensionParams ep;
   ep.lambda = 1.0 / (delta + 1.0);
   ep.gamma = std::max(1.5, std::pow(delta, 1.0 / static_cast<double>(k)));
   RandomizedExtension ext(ep, std::nullopt);
-  RunStats stats = net.run(ext, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  check_budget(protocol::run_protocol(net, {&ext}, round_budget(net)));
   return ext.result(net);
 }
 
-MdsResult solve_mds_unknown_delta(const WeightedGraph& wg, NodeId alpha,
-                                  double eps, CongestConfig config) {
+MdsResult solve_mds_general(const WeightedGraph& wg, int k,
+                            CongestConfig config) {
   Network net(wg, config);
+  return solve_mds_general(net, k);
+}
+
+MdsResult solve_mds_unknown_delta(Network& net, NodeId alpha, double eps) {
   AdaptiveMdsParams params;
   params.mode = AdaptiveMode::kUnknownDelta;
   params.alpha = alpha;
   params.eps = eps;
   AdaptiveMds algo(params);
-  RunStats stats = net.run(algo, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  check_budget(protocol::run_protocol(net, {&algo}, round_budget(net)));
+  return algo.result(net);
+}
+
+MdsResult solve_mds_unknown_delta(const WeightedGraph& wg, NodeId alpha,
+                                  double eps, CongestConfig config) {
+  Network net(wg, config);
+  return solve_mds_unknown_delta(net, alpha, eps);
+}
+
+MdsResult solve_mds_unknown_alpha(Network& net, double eps,
+                                  bool be_knows_alpha, NodeId be_alpha_hint) {
+  // Remark 4.5: the Barenboim–Elkin orientation prologue publishes the
+  // per-node out-degrees the adaptive loop derives its lambdas from.
+  BarenboimElkinOrientation orientation =
+      be_knows_alpha
+          ? BarenboimElkinOrientation(std::max<NodeId>(1, be_alpha_hint), eps)
+          : BarenboimElkinOrientation::with_unknown_alpha(eps);
+  AdaptiveMdsParams params;
+  params.mode = AdaptiveMode::kUnknownAlpha;
+  params.eps = eps;
+  AdaptiveMds algo(params);
+  check_budget(protocol::run_protocol(net, {&orientation, &algo},
+                                      round_budget(net)));
   return algo.result(net);
 }
 
@@ -132,41 +144,42 @@ MdsResult solve_mds_unknown_alpha(const WeightedGraph& wg, double eps,
                                   CongestConfig config, bool be_knows_alpha,
                                   NodeId be_alpha_hint) {
   Network net(wg, config);
-  AdaptiveMdsParams params;
-  params.mode = AdaptiveMode::kUnknownAlpha;
-  params.eps = eps;
-  params.be_knows_alpha = be_knows_alpha;
-  params.be_alpha_hint = be_alpha_hint;
-  AdaptiveMds algo(params);
-  RunStats stats = net.run(algo, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return solve_mds_unknown_alpha(net, eps, be_knows_alpha, be_alpha_hint);
+}
+
+MdsResult solve_mds_tree(Network& net) {
+  TreeMds algo;
+  check_budget(protocol::run_protocol(net, {&algo}, round_budget(net)));
   return algo.result(net);
 }
 
 MdsResult solve_mds_tree(const WeightedGraph& wg, CongestConfig config) {
   Network net(wg, config);
-  TreeMds algo;
-  RunStats stats = net.run(algo, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return solve_mds_tree(net);
+}
+
+MdsResult solve_mds_greedy_threshold(Network& net) {
+  baselines::ThresholdGreedyMds algo;
+  check_budget(protocol::run_protocol(net, {&algo}, round_budget(net)));
   return algo.result(net);
 }
 
 MdsResult solve_mds_greedy_threshold(const WeightedGraph& wg,
                                      CongestConfig config) {
   Network net(wg, config);
-  baselines::ThresholdGreedyMds algo;
-  RunStats stats = net.run(algo, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
+  return solve_mds_greedy_threshold(net);
+}
+
+MdsResult solve_mds_greedy_election(Network& net) {
+  baselines::ElectionGreedyMds algo;
+  check_budget(protocol::run_protocol(net, {&algo}, round_budget(net)));
   return algo.result(net);
 }
 
 MdsResult solve_mds_greedy_election(const WeightedGraph& wg,
                                     CongestConfig config) {
   Network net(wg, config);
-  baselines::ElectionGreedyMds algo;
-  RunStats stats = net.run(algo, round_budget(wg));
-  ARBODS_CHECK_MSG(!stats.hit_round_limit, "round budget exceeded");
-  return algo.result(net);
+  return solve_mds_greedy_election(net);
 }
 
 }  // namespace arbods

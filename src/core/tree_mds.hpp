@@ -9,13 +9,15 @@
 #include <vector>
 
 #include "core/mds_result.hpp"
+#include "protocol/phase.hpp"
 
 namespace arbods {
 
-class TreeMds final : public DistributedAlgorithm {
+class TreeMds final : public protocol::Phase {
  public:
   TreeMds() = default;
 
+  std::string_view name() const override { return "tree_mds"; }
   void initialize(Network& net) override;
   void process_round(Network& net) override;
   bool finished(const Network& net) const override;

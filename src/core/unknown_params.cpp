@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "arboricity/orientation.hpp"
 #include "common/check.hpp"
 #include "graph/verify.hpp"
 
@@ -12,6 +11,11 @@ AdaptiveMds::AdaptiveMds(AdaptiveMdsParams params) : params_(params) {
   ARBODS_CHECK(params_.eps > 0.0 && params_.eps < 1.0);
   if (params_.mode == AdaptiveMode::kUnknownDelta)
     ARBODS_CHECK(params_.alpha >= 1);
+}
+
+void AdaptiveMds::bind(protocol::PhaseContext& ctx) {
+  if (params_.mode == AdaptiveMode::kUnknownAlpha)
+    orientation_ = ctx.share<OrientationHandoff>();
 }
 
 void AdaptiveMds::reduce_dominated() {
@@ -28,7 +32,6 @@ void AdaptiveMds::initialize(Network& net) {
   lambda_.assign(n, 0.0);
   tau_.assign(n, 0);
   tau_witness_.assign(n, kInvalidNode);
-  out_degree_.assign(n, 0);
   in_final_.assign(n, false);
   dominated_.assign(n, false);
   pending_join_announce_.assign(n, false);
@@ -36,32 +39,29 @@ void AdaptiveMds::initialize(Network& net) {
                           WorkerCounter{});
   num_undominated_ = n;
   iterations_ = 0;
-  orientation_rounds_ = 0;
   first_value_round_ = true;
 
   if (n == 0) {
     stage_ = Stage::kDone;
     return;
   }
-  if (params_.mode == AdaptiveMode::kUnknownAlpha) {
-    if (params_.be_knows_alpha) {
-      be_ = std::make_unique<BarenboimElkinOrientation>(
-          std::max<NodeId>(1, params_.be_alpha_hint), params_.eps);
-    } else {
-      be_ = std::make_unique<BarenboimElkinOrientation>(
-          BarenboimElkinOrientation::with_unknown_alpha(params_.eps));
-    }
-    be_->initialize(net);
-    stage_ = Stage::kOrient;
-  } else {
-    // Remark 4.4: straight to the info exchange.
-    net.for_nodes([&](NodeId v) {
-      net.broadcast(v, Message::tagged(kTagInfo)
-                           .add_weight(net.weight(v))
-                           .add_level(net.degree(v)));
-    });
-    stage_ = Stage::kInfoExchange;
+  const bool unknown_alpha = params_.mode == AdaptiveMode::kUnknownAlpha;
+  if (unknown_alpha) {
+    ARBODS_CHECK_MSG(orientation_ != nullptr &&
+                         orientation_->out_degree.size() == n,
+                     "AdaptiveMds(kUnknownAlpha) requires a preceding "
+                     "be_orientation phase (no OrientationHandoff published)");
   }
+  // Publish weight + degree (Remark 4.4) or weight + orientation
+  // out-degree (Remark 4.5, from the prologue's handoff).
+  net.for_nodes([&](NodeId v) {
+    const std::int64_t info =
+        unknown_alpha ? orientation_->out_degree[v] : net.degree(v);
+    net.broadcast(v, Message::tagged(kTagInfo)
+                         .add_weight(net.weight(v))
+                         .add_level(info));
+  });
+  stage_ = Stage::kInfoExchange;
 }
 
 void AdaptiveMds::process_round(Network& net) {
@@ -69,30 +69,15 @@ void AdaptiveMds::process_round(Network& net) {
   const double one_plus_eps = 1.0 + params_.eps;
 
   switch (stage_) {
-    case Stage::kOrient: {
-      be_->process_round(net);
-      ++orientation_rounds_;
-      if (!be_->finished(net)) break;
-      // Orientation done; publish weight + out-degree next.
-      Orientation o = be_->extract_orientation(net.graph());
-      for (NodeId v = 0; v < n; ++v) out_degree_[v] = o.out_degree(v);
-      net.for_nodes([&](NodeId v) {
-        net.broadcast(v, Message::tagged(kTagInfo)
-                             .add_weight(net.weight(v))
-                             .add_level(out_degree_[v]));
-      });
-      stage_ = Stage::kInfoExchange;
-      break;
-    }
-
     case Stage::kInfoExchange: {
       const bool unknown_delta = params_.mode == AdaptiveMode::kUnknownDelta;
       net.for_nodes([&](NodeId v) {
         Weight best = net.weight(v);
         NodeId witness = v;
         // For kUnknownDelta: max closed-neighborhood size, incl. own.
-        std::int64_t max_info =
-            unknown_delta ? net.degree(v) + 1 : out_degree_[v];
+        std::int64_t max_info = unknown_delta
+                                    ? net.degree(v) + 1
+                                    : orientation_->out_degree[v];
         for (const MessageView m : net.inbox(v)) {
           if (m.tag() != kTagInfo) continue;
           const Weight w = m.weight_at(1);

@@ -10,11 +10,12 @@
 //     (one degree exchange), lambda_v = 1/((2*alpha+1)(1+eps)); terminates
 //     after O(log(Delta)/eps) iterations with the Theorem 1.1 guarantee.
 //
-//   kUnknownAlpha (Remark 4.5): a Barenboim–Elkin orientation prologue
-//     computes levels; hat_alpha_v = max out-degree over N+(v) gives the
-//     per-node lambda_v = 1/((2*hat_alpha_v+1)(1+eps)); x_v starts at
-//     tau_v/(n+1). O(log n / eps) iterations; approximation
-//     (2*alpha+1)(2+O(eps)).
+//   kUnknownAlpha (Remark 4.5): composed as a two-phase pipeline — a
+//     BarenboimElkinOrientation prologue phase publishes per-node
+//     out-degrees (OrientationHandoff), this phase binds against them;
+//     hat_alpha_v = max out-degree over N+(v) gives the per-node
+//     lambda_v = 1/((2*hat_alpha_v+1)(1+eps)); x_v starts at tau_v/(n+1).
+//     O(log n / eps) iterations; approximation (2*alpha+1)(2+O(eps)).
 #pragma once
 
 #include <memory>
@@ -27,7 +28,7 @@ namespace arbods {
 
 enum class AdaptiveMode {
   kUnknownDelta,  // Remark 4.4
-  kUnknownAlpha,  // Remark 4.5
+  kUnknownAlpha,  // Remark 4.5 (requires an orientation prologue phase)
 };
 
 struct AdaptiveMdsParams {
@@ -35,18 +36,16 @@ struct AdaptiveMdsParams {
   double eps = 0.5;
   /// Required (and used) only for kUnknownDelta.
   NodeId alpha = 1;
-  /// kUnknownAlpha only: run the orientation prologue with the true alpha
-  /// handed to BE10 as in the remark's citation (true), or with the
-  /// fully-alpha-free doubling variant (false).
-  bool be_knows_alpha = false;
-  /// Used only when be_knows_alpha (test harness convenience).
-  NodeId be_alpha_hint = 1;
 };
 
-class AdaptiveMds final : public DistributedAlgorithm {
+class AdaptiveMds final : public protocol::Phase {
  public:
   explicit AdaptiveMds(AdaptiveMdsParams params);
 
+  std::string_view name() const override { return "adaptive_mds"; }
+  /// kUnknownAlpha: adopts the OrientationHandoff a preceding
+  /// BarenboimElkinOrientation phase published (checked at initialize).
+  void bind(protocol::PhaseContext& ctx) override;
   void initialize(Network& net) override;
   void process_round(Network& net) override;
   bool finished(const Network& net) const override;
@@ -54,7 +53,6 @@ class AdaptiveMds final : public DistributedAlgorithm {
   MdsResult result(const Network& net) const;
 
   std::int64_t iterations() const { return iterations_; }
-  std::int64_t orientation_rounds() const { return orientation_rounds_; }
   const std::vector<double>& lambda_per_node() const { return lambda_; }
 
   static constexpr int kTagInfo = 1;     // weight + degree/out-degree
@@ -63,20 +61,18 @@ class AdaptiveMds final : public DistributedAlgorithm {
   static constexpr int kTagRequest = 4;  // "please join, you carry tau_v"
 
  private:
-  enum class Stage { kOrient, kInfoExchange, kValueRound, kJoinRound, kDone };
+  enum class Stage { kInfoExchange, kValueRound, kJoinRound, kDone };
 
   AdaptiveMdsParams params_;
-  std::unique_ptr<BarenboimElkinOrientation> be_;
-  Stage stage_ = Stage::kOrient;
+  std::shared_ptr<const OrientationHandoff> orientation_;
+  Stage stage_ = Stage::kInfoExchange;
   std::int64_t iterations_ = 0;
-  std::int64_t orientation_rounds_ = 0;
   bool first_value_round_ = true;
 
   std::vector<double> x_;
   std::vector<double> lambda_;
   std::vector<Weight> tau_;
   std::vector<NodeId> tau_witness_;
-  std::vector<NodeId> out_degree_;  // kUnknownAlpha: BE out-degree
   NodeFlags in_final_;              // S union S'
   NodeFlags dominated_;             // includes "pending" requesters
   /// Self-witness joins decided in a value round announce in the next join

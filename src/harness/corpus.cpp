@@ -24,7 +24,7 @@ CorpusInstance make(std::string name, Graph g, NodeId alpha,
   const bool unit = profile == "unit";
   WeightedGraph wg = gen::with_weights(std::move(g), profile, rng,
                                        /*max_weight=*/16);
-  return {std::move(name), std::move(wg), alpha, forest, unit};
+  return {std::move(name), std::move(wg), alpha, forest, unit, {}};
 }
 
 }  // namespace
@@ -73,7 +73,7 @@ std::vector<CorpusInstance> standard_corpus(bool weighted,
         weighted ? WeightedGraph(std::move(g), gen::uniform_weights(n, 100, rng))
                  : WeightedGraph::uniform(std::move(g));
     out.push_back(
-        {std::move(name), std::move(wg), alpha, forest, !weighted});
+        {std::move(name), std::move(wg), alpha, forest, !weighted, {}});
   };
   add("tree_n4096", gen::random_tree_prufer(4096, rng), 1);
   add("forest2_n4096", gen::k_tree_union(4096, 2, rng), 2);
@@ -134,7 +134,8 @@ const CorpusInstance& scaling_instance(const ScalingSpec& spec,
     Graph g = build_scaling_graph(spec, rng);
     const bool forest = spec.alpha == 1;
     CorpusInstance inst{spec.name, WeightedGraph::uniform(std::move(g)),
-                        spec.alpha, forest, /*unit_weights=*/true};
+                        spec.alpha, forest, /*unit_weights=*/true,
+                        spec.family};
     it = cache.emplace(key, std::move(inst)).first;
   }
   return it->second;

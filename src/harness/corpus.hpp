@@ -26,6 +26,9 @@ struct CorpusInstance {
   NodeId alpha;            // arboricity promise handed to the solvers
   bool forest = false;     // wg.graph() is a forest
   bool unit_weights = false;
+  /// Generator family the instance came from ("" for ad-hoc instances);
+  /// carried into scenario reports.
+  std::string family;
 };
 
 /// Deterministic small instances (n <= 40): generator families x weight

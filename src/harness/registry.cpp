@@ -90,49 +90,40 @@ double greedy_election_bound(const WeightedGraph& wg, const SolverParams&) {
   return std::max<double>(1.0, static_cast<double>(wg.num_nodes()));
 }
 
-MdsResult run_det(const WeightedGraph& wg, const SolverParams& p,
-                  const CongestConfig& cfg) {
-  return solve_mds_deterministic(wg, p.alpha, p.eps, cfg);
+MdsResult run_det(Network& net, const SolverParams& p) {
+  return solve_mds_deterministic(net, p.alpha, p.eps);
 }
 
-MdsResult run_unweighted(const WeightedGraph& wg, const SolverParams& p,
-                         const CongestConfig& cfg) {
-  return solve_mds_unweighted(wg, p.alpha, p.eps, cfg);
+MdsResult run_unweighted(Network& net, const SolverParams& p) {
+  return solve_mds_unweighted(net, p.alpha, p.eps);
 }
 
-MdsResult run_randomized(const WeightedGraph& wg, const SolverParams& p,
-                         const CongestConfig& cfg) {
-  return solve_mds_randomized(wg, p.alpha, p.t, cfg);
+MdsResult run_randomized(Network& net, const SolverParams& p) {
+  return solve_mds_randomized(net, p.alpha, p.t);
 }
 
-MdsResult run_general(const WeightedGraph& wg, const SolverParams& p,
-                      const CongestConfig& cfg) {
-  return solve_mds_general(wg, p.k, cfg);
+MdsResult run_general(Network& net, const SolverParams& p) {
+  return solve_mds_general(net, p.k);
 }
 
-MdsResult run_unknown_delta(const WeightedGraph& wg, const SolverParams& p,
-                            const CongestConfig& cfg) {
-  return solve_mds_unknown_delta(wg, p.alpha, p.eps, cfg);
+MdsResult run_unknown_delta(Network& net, const SolverParams& p) {
+  return solve_mds_unknown_delta(net, p.alpha, p.eps);
 }
 
-MdsResult run_unknown_alpha(const WeightedGraph& wg, const SolverParams& p,
-                            const CongestConfig& cfg) {
-  return solve_mds_unknown_alpha(wg, p.eps, cfg);
+MdsResult run_unknown_alpha(Network& net, const SolverParams& p) {
+  return solve_mds_unknown_alpha(net, p.eps);
 }
 
-MdsResult run_tree(const WeightedGraph& wg, const SolverParams&,
-                   const CongestConfig& cfg) {
-  return solve_mds_tree(wg, cfg);
+MdsResult run_tree(Network& net, const SolverParams&) {
+  return solve_mds_tree(net);
 }
 
-MdsResult run_greedy_threshold(const WeightedGraph& wg, const SolverParams&,
-                               const CongestConfig& cfg) {
-  return solve_mds_greedy_threshold(wg, cfg);
+MdsResult run_greedy_threshold(Network& net, const SolverParams&) {
+  return solve_mds_greedy_threshold(net);
 }
 
-MdsResult run_greedy_election(const WeightedGraph& wg, const SolverParams&,
-                              const CongestConfig& cfg) {
-  return solve_mds_greedy_election(wg, cfg);
+MdsResult run_greedy_election(Network& net, const SolverParams&) {
+  return solve_mds_greedy_election(net);
 }
 
 constexpr std::array<SolverInfo, 9> kSolvers{{
@@ -206,7 +197,22 @@ MdsResult run_solver(std::string_view name, const WeightedGraph& wg,
   }
   CongestConfig cfg = config;
   if (params.threads >= 0) cfg.threads = params.threads;
-  return info.run(wg, params, cfg);
+  Network net(wg, cfg);
+  return info.run_on(net, params);
+}
+
+MdsResult run_solver_on(std::string_view name, Network& net,
+                        const SolverParams& params) {
+  const SolverInfo& info = solver(name);
+  ARBODS_CHECK_MSG(params.threads == -1,
+                   "run_solver_on: the worker-pool width is fixed by the "
+                   "Network's config; leave params.threads at -1");
+  info.check_params(params);
+  if (info.forests_only) {
+    ARBODS_CHECK_MSG(is_forest(net.graph()),
+                     "solver '" << name << "' requires a forest");
+  }
+  return info.run_on(net, params);
 }
 
 }  // namespace arbods::harness

@@ -56,9 +56,11 @@ struct SolverInfo {
   /// by a fixed slack so fixed-seed regression runs stay under it.
   double (*approx_bound)(const WeightedGraph&, const SolverParams&);
 
-  /// Runs the driver (validating params first).
-  MdsResult (*run)(const WeightedGraph&, const SolverParams&,
-                   const CongestConfig&);
+  /// Runs the driver's phase list on the caller's Network (which fixes
+  /// the graph, seed, and worker-pool width; SolverParams::threads is
+  /// ignored here). The Network is reset and reused — this is the entry
+  /// the scenario batch runner pools Networks through.
+  MdsResult (*run_on)(Network&, const SolverParams&);
 };
 
 /// All registered solvers, in theorem order.
@@ -73,9 +75,16 @@ const SolverInfo* find_solver(std::string_view name);
 /// Lookup; throws CheckError naming the known solvers when unknown.
 const SolverInfo& solver(std::string_view name);
 
-/// Convenience: look up, validate params, run.
+/// Convenience: look up, validate params, construct a Network (honoring
+/// params.threads), run.
 MdsResult run_solver(std::string_view name, const WeightedGraph& wg,
                      const SolverParams& params = {},
                      const CongestConfig& config = {});
+
+/// Convenience: look up, validate params, run on the caller's (reused)
+/// Network. params.threads must be -1 — the width is fixed by the
+/// Network's own config.
+MdsResult run_solver_on(std::string_view name, Network& net,
+                        const SolverParams& params = {});
 
 }  // namespace arbods::harness

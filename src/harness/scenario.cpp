@@ -1,0 +1,187 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "harness/oracle.hpp"
+
+namespace arbods::harness {
+
+Network& NetworkPool::acquire(const WeightedGraph& wg,
+                              const CongestConfig& config) {
+  for (Entry& e : entries_)
+    if (e.wg == &wg && e.config == config) return *e.net;
+  entries_.push_back(
+      Entry{&wg, config, std::make_unique<Network>(wg, config)});
+  ++constructed_;
+  return *entries_.back().net;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScenarioRow> run_scenario(
+    const ScenarioSpec& spec,
+    std::span<const CorpusInstance* const> instances) {
+  ARBODS_CHECK_MSG(!spec.solvers.empty(), "scenario has no solvers");
+  ARBODS_CHECK_MSG(!spec.thread_widths.empty(), "scenario has no widths");
+  ARBODS_CHECK_MSG(!spec.seeds.empty(), "scenario has no seeds");
+  ARBODS_CHECK_MSG(spec.repeats >= 1, "repeats must be >= 1");
+
+  std::vector<ScenarioRow> rows;
+  for (const CorpusInstance* inst_ptr : instances) {
+    ARBODS_CHECK(inst_ptr != nullptr);
+    const CorpusInstance& inst = *inst_ptr;
+    // Pool scope = one instance: every (width, seed) Network is reused
+    // across all solvers and repeats on this graph, then released before
+    // the next instance so a scaling sweep holds one instance's arenas.
+    NetworkPool pool;
+    for (const ScenarioSolver& scenario_solver : spec.solvers) {
+      const SolverInfo& info = solver(scenario_solver.name);
+      if (!solver_applicable(info, inst)) {
+        ARBODS_CHECK_MSG(spec.skip_inapplicable,
+                         "solver '" << info.name << "' requires a forest; '"
+                                    << inst.name << "' is not one");
+        continue;
+      }
+      SolverParams params =
+          scenario_solver.params.value_or(params_for(info, inst));
+      params.threads = -1;  // the width lives in the Network config
+      // Validate once per cell, outside the timed repeat loop (the
+      // forests_only check walks the whole graph; run_solver_on would
+      // redo it per repeat inside the Stopwatch window).
+      info.check_params(params);
+
+      for (const std::uint64_t seed : spec.seeds) {
+        // One reference per (instance, solver, seed): every width and
+        // every repeat must reproduce it bit-for-bit — a sweep doubles
+        // as an end-to-end determinism audit.
+        MdsResult reference;
+        bool have_reference = false;
+
+        for (const int width : spec.thread_widths) {
+          CongestConfig cfg = spec.base_config;
+          cfg.seed = seed;
+          cfg.threads = width;
+          Network& net = pool.acquire(inst.wg, cfg);
+
+          bool identical = true;
+          MdsResult res;
+          std::vector<double> samples;
+          samples.reserve(static_cast<std::size_t>(spec.repeats));
+          const int total_runs =
+              spec.repeats > 1 ? spec.repeats + 1 : spec.repeats;
+          for (int rep = 0; rep < total_runs; ++rep) {
+            Stopwatch timer;
+            MdsResult run = info.run_on(net, params);
+            const double seconds = timer.elapsed_seconds();
+            const bool warmup = spec.repeats > 1 && rep == 0;
+            if (!warmup) samples.push_back(seconds);
+            if (spec.check_determinism) {
+              if (!have_reference) {
+                reference = run;
+                have_reference = true;
+              } else {
+                identical &= run == reference;
+              }
+            }
+            res = std::move(run);
+          }
+          if (spec.validate) res.validate(inst.wg, 1e-5);
+          if (!spec.keep_certificates) {
+            res.packing.clear();
+            res.packing.shrink_to_fit();
+          }
+          std::sort(samples.begin(), samples.end());
+          const double seconds = samples[samples.size() / 2];
+
+          ScenarioRow row;
+          row.instance = inst.name;
+          row.family = inst.family;
+          row.n = inst.wg.num_nodes();
+          row.m = inst.wg.graph().num_edges();
+          row.solver = scenario_solver.label.empty() ? scenario_solver.name
+                                                     : scenario_solver.label;
+          row.threads = width;
+          row.seed = seed;
+          row.repeats = spec.repeats;
+          row.seconds = seconds;
+          row.result = std::move(res);
+          row.identical = identical;
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+std::vector<ScenarioRow> run_scenario(
+    const ScenarioSpec& spec, const std::vector<CorpusInstance>& instances) {
+  std::vector<const CorpusInstance*> ptrs;
+  ptrs.reserve(instances.size());
+  for (const CorpusInstance& inst : instances) ptrs.push_back(&inst);
+  return run_scenario(spec, ptrs);
+}
+
+bool all_identical(std::span<const ScenarioRow> rows) {
+  for (const ScenarioRow& row : rows)
+    if (!row.identical) return false;
+  return true;
+}
+
+void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
+  os << "[\n";
+  bool first = true;
+  for (const ScenarioRow& row : rows) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"instance\": " << json_string(row.instance)
+       << ", \"family\": " << json_string(row.family)
+       << ", \"n\": " << row.n << ", \"m\": " << row.m
+       << ", \"solver\": " << json_string(row.solver)
+       << ", \"threads\": " << row.threads
+       << ", \"seconds\": " << row.seconds
+       << ", \"repeats\": " << row.repeats
+       << ", \"rounds\": " << row.result.stats.rounds
+       << ", \"messages\": " << row.result.stats.messages
+       << ", \"total_bits\": " << row.result.stats.total_bits
+       << ", \"set_size\": " << row.result.dominating_set.size()
+       << ", \"weight\": " << row.result.weight
+       << ", \"identical\": " << (row.identical ? "true" : "false") << "}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace arbods::harness

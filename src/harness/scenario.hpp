@@ -1,0 +1,120 @@
+// Scenario batch runner: the harness layer of the protocol engine.
+//
+// A ScenarioSpec describes a sweep {solvers x instances x thread widths x
+// seeds x repeats}; run_scenario expands it over POOLED Networks — one
+// Network per (instance, width, seed), constructed once and reset between
+// runs via Network::reset_for_reuse — and returns one row per cell with
+// the full MdsResult (per-phase stats included), a median wall-clock
+// timing, and a cross-width/cross-repeat determinism verdict. The old
+// hand-rolled exp* driver loops (instance x solver x width with ad-hoc
+// reference checking) are this function now; exp12_scaling, exp4, exp6,
+// arbods_cli, and examples/content_mirrors all drive it.
+//
+// write_scenario_json emits the rows in the exp12 JSON schema (one object
+// per row) for plotting / CI artifact upload / the perf-regression gate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/corpus.hpp"
+#include "harness/registry.hpp"
+
+namespace arbods::harness {
+
+/// One solver column of a scenario: a registry solver plus optional
+/// parameter overrides and a display label.
+struct ScenarioSolver {
+  std::string name;                    // registry key
+  /// nullopt = derive via params_for(info, instance) (alpha from the
+  /// instance promise). threads is ignored either way — the sweep's
+  /// thread_widths drive the Network config.
+  std::optional<SolverParams> params;
+  std::string label;                   // defaults to `name`
+};
+
+struct ScenarioSpec {
+  std::vector<ScenarioSolver> solvers;
+  std::vector<int> thread_widths = {1};
+  /// Simulator seeds (one pass per seed); defaults to the CongestConfig
+  /// default so an unconfigured scenario matches an unconfigured solver
+  /// call bit-for-bit.
+  std::vector<std::uint64_t> seeds = {CongestConfig{}.seed};
+  /// Timed runs per cell (the reported seconds is their median); > 1
+  /// adds one untimed warm-up run first.
+  int repeats = 1;
+  /// Require bit-identical results (set, weight, stats incl. per-phase)
+  /// across every width and repeat of an (instance, solver, seed) cell.
+  bool check_determinism = true;
+  /// Skip (solver, instance) pairs the solver cannot run on
+  /// (forests_only) instead of throwing.
+  bool skip_inapplicable = true;
+  /// res.validate() every cell (small corpora only — it walks the graph).
+  bool validate = false;
+  /// Keep each row's O(n) packing certificate. Large sweeps that only
+  /// consume the scalar fields (exp12's JSON) set this false so the
+  /// returned rows do not accumulate one certificate vector per cell;
+  /// determinism checking still compares full certificates per cell
+  /// before the drop.
+  bool keep_certificates = true;
+  /// Base simulator config; seed and threads are overridden per cell.
+  CongestConfig base_config{};
+};
+
+struct ScenarioRow {
+  std::string instance;
+  std::string family;
+  NodeId n = 0;
+  std::int64_t m = 0;
+  std::string solver;      // the ScenarioSolver label
+  int threads = 1;
+  std::uint64_t seed = 0;
+  int repeats = 1;
+  double seconds = 0.0;    // median over the timed repeats
+  MdsResult result;
+  bool identical = true;   // determinism verdict for this cell
+};
+
+/// Pools Networks keyed by (graph, config): every run that shares the
+/// pool reuses one Network per key, constructed once and reset between
+/// runs. The construction count is exposed so tests can pin the reuse.
+class NetworkPool {
+ public:
+  Network& acquire(const WeightedGraph& wg, const CongestConfig& config);
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t constructed() const { return constructed_; }
+
+ private:
+  struct Entry {
+    const WeightedGraph* wg;
+    CongestConfig config;
+    std::unique_ptr<Network> net;
+  };
+  std::vector<Entry> entries_;
+  std::size_t constructed_ = 0;
+};
+
+/// Runs the whole expansion. Networks are pooled per instance and
+/// released when the sweep moves to the next instance, so a scaling
+/// sweep never holds more than one instance's arenas.
+std::vector<ScenarioRow> run_scenario(
+    const ScenarioSpec& spec,
+    std::span<const CorpusInstance* const> instances);
+std::vector<ScenarioRow> run_scenario(
+    const ScenarioSpec& spec, const std::vector<CorpusInstance>& instances);
+
+/// True iff every row's determinism verdict holds.
+bool all_identical(std::span<const ScenarioRow> rows);
+
+/// One JSON object per row, as a JSON array (the exp12 schema):
+/// instance/family/n/m/solver/threads/seconds/repeats/rounds/messages/
+/// total_bits/set_size/weight/identical.
+void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows);
+
+}  // namespace arbods::harness

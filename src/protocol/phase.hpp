@@ -1,0 +1,126 @@
+// The protocol layer: composable phases over one reused Network.
+//
+// The paper's headline algorithms are *compositions* — Theorem 1.2 chains
+// the Lemma 4.1 partial-dominating-set phase into the Lemma 4.6 extension,
+// and the unknown-parameter variants (Remarks 4.4/4.5) bolt a
+// Barenboim–Elkin orientation prologue onto the main loop. A Phase is one
+// such building block: a DistributedAlgorithm plus a stable name (for the
+// per-phase statistics breakdown) and typed handoff slots through which a
+// phase passes per-node state (packing values, orientation out-degrees,
+// membership flags) to its successors.
+//
+// Handoff model: a PhaseContext is a small type-keyed blackboard. A
+// finishing phase publish()es a handoff struct (e.g. PartialDsHandoff);
+// a later phase bind()s against the context before its initialize() and
+// pulls the inputs it declares. One slot per type — publishing the same
+// type twice replaces the slot (the paper's pipelines are linear).
+//
+// Phases run on ONE Network via ProtocolRunner (see runner.hpp): each
+// phase starts from the fresh-construction observable state of the shared
+// Network (Network::run_phase), so a composition is bit-identical to the
+// old one-Network-per-phase drivers while constructing arenas, worker
+// pool, and RNG streams exactly once.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "congest/network.hpp"
+
+namespace arbods::protocol {
+
+/// Type-keyed handoff storage shared by the phases of one protocol run.
+/// Values are held by shared_ptr so a phase may retain its input handoff
+/// beyond the runner's lifetime (result assembly happens after run()).
+class PhaseContext {
+ public:
+  /// Stores `value` under its type, replacing any previous slot of the
+  /// same type. Returns a reference to the stored value.
+  template <typename T>
+  T& put(T value) {
+    auto holder = std::make_shared<T>(std::move(value));
+    T* raw = holder.get();
+    for (Slot& s : slots_) {
+      if (*s.type == typeid(T)) {
+        s.value = std::move(holder);
+        return *raw;
+      }
+    }
+    slots_.push_back(Slot{&typeid(T), std::move(holder)});
+    return *raw;
+  }
+
+  /// The slot of type T, or nullptr when no phase published one.
+  template <typename T>
+  T* find() const {
+    for (const Slot& s : slots_)
+      if (*s.type == typeid(T)) return static_cast<T*>(s.value.get());
+    return nullptr;
+  }
+
+  /// Shared ownership of the slot of type T (nullptr when absent); lets
+  /// a phase keep its input alive independently of the context.
+  template <typename T>
+  std::shared_ptr<T> share() const {
+    for (const Slot& s : slots_)
+      if (*s.type == typeid(T)) return std::static_pointer_cast<T>(s.value);
+    return nullptr;
+  }
+
+  /// The slot of type T; throws CheckError naming the type when absent.
+  template <typename T>
+  T& get() const {
+    T* value = find<T>();
+    ARBODS_CHECK_MSG(value != nullptr, "phase handoff missing: no '"
+                                           << typeid(T).name()
+                                           << "' slot was published");
+    return *value;
+  }
+
+  void clear() { slots_.clear(); }
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    const std::type_info* type;
+    std::shared_ptr<void> value;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// One composable stage of a protocol. A Phase is a DistributedAlgorithm
+/// (so it can equally be driven standalone through Network::run) extended
+/// with a stable name and the handoff hooks:
+///
+///   bind(ctx)      before initialize(): read the inputs this phase
+///                  declares from earlier phases' handoffs.
+///   publish(ctx)   after finished(): write this phase's handoff for
+///                  later phases.
+///
+/// The locality discipline extends to handoffs: a phase may only publish
+/// state its nodes computed locally, and a binding phase treats the slot
+/// as per-node initial state (exactly what the old drivers copied between
+/// their per-phase Networks).
+class Phase : public DistributedAlgorithm {
+ public:
+  /// Stable identifier used for the per-phase statistics breakdown
+  /// (RunStats::phases) and scenario reports.
+  virtual std::string_view name() const = 0;
+
+  /// Reads this phase's declared inputs from the context. Called by the
+  /// runner immediately before initialize(); default: no inputs.
+  virtual void bind(PhaseContext& ctx) { (void)ctx; }
+
+  /// Publishes this phase's outputs. Called by the runner once finished()
+  /// holds; default: no outputs.
+  virtual void publish(Network& net, PhaseContext& ctx) {
+    (void)net;
+    (void)ctx;
+  }
+};
+
+}  // namespace arbods::protocol

@@ -1,0 +1,32 @@
+#include "protocol/runner.hpp"
+
+namespace arbods::protocol {
+
+RunStats ProtocolRunner::run(std::span<Phase* const> phases,
+                             std::int64_t max_rounds_per_phase) {
+  net_->reset_for_reuse();
+  ctx_.clear();
+  for (Phase* phase : phases) {
+    ARBODS_CHECK(phase != nullptr);
+    phase->bind(ctx_);
+    const PhaseStats& ps =
+        net_->run_phase(*phase, phase->name(), max_rounds_per_phase);
+    if (ps.hit_round_limit) break;  // callers check RunStats::hit_round_limit
+    phase->publish(*net_, ctx_);
+  }
+  return net_->stats();
+}
+
+RunStats ProtocolRunner::run(std::initializer_list<Phase*> phases,
+                             std::int64_t max_rounds_per_phase) {
+  return run(std::span<Phase* const>(phases.begin(), phases.size()),
+             max_rounds_per_phase);
+}
+
+RunStats run_protocol(Network& net, std::initializer_list<Phase*> phases,
+                      std::int64_t max_rounds_per_phase) {
+  ProtocolRunner runner(net);
+  return runner.run(phases, max_rounds_per_phase);
+}
+
+}  // namespace arbods::protocol

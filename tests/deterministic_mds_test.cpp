@@ -256,11 +256,23 @@ TEST(Theorem11, LambdaOverrideIsHonored) {
   p.alpha = 1;
   p.lambda = 1e-9;  // below 1/(Delta+1): partial phase is skipped entirely
   Network net(wg);
-  DeterministicMds algo(p);
-  net.run(algo, 100000);
-  MdsResult res = algo.result(net);
+  MdsResult res = run_deterministic_mds(net, p);
   res.validate(wg, 1e-5);
   EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Theorem11, ReportsPartialAndCompletionPhaseBreakdown) {
+  Rng rng(95);
+  Graph g = gen::k_tree_union(120, 2, rng);
+  auto wg = WeightedGraph::uniform(std::move(g));
+  MdsResult res = solve_mds_deterministic(wg, 2, 0.3);
+  ASSERT_EQ(res.stats.phases.size(), 2u);
+  EXPECT_EQ(res.stats.phases[0].name, "partial_ds");
+  EXPECT_EQ(res.stats.phases[1].name, "completion");
+  // Thm 1.1 completion = request round + join round.
+  EXPECT_EQ(res.stats.phases[1].rounds, 2);
+  EXPECT_EQ(res.stats.phases[0].rounds + res.stats.phases[1].rounds,
+            res.stats.rounds);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "core/solvers.hpp"
 #include "core/unknown_params.hpp"
+#include "protocol/runner.hpp"
 #include "gen/arboricity_families.hpp"
 #include "gen/classic.hpp"
 #include "gen/random_graphs.hpp"
@@ -114,17 +115,34 @@ TEST(UnknownAlpha, RoundsIncludeOrientationPrologue) {
   Graph g = gen::k_tree_union(150, 2, rng);
   WeightedGraph wg = WeightedGraph::uniform(std::move(g));
   Network net(wg);
+  // Remark 4.5 as a two-phase pipeline: the orientation prologue publishes
+  // per-node out-degrees, the adaptive loop binds against them.
+  auto orientation = BarenboimElkinOrientation::with_unknown_alpha(0.5);
   AdaptiveMdsParams params;
   params.mode = AdaptiveMode::kUnknownAlpha;
   params.eps = 0.5;
   AdaptiveMds algo(params);
-  RunStats stats = net.run(algo, 1000000);
+  RunStats stats = protocol::run_protocol(net, {&orientation, &algo});
   ASSERT_FALSE(stats.hit_round_limit);
-  EXPECT_GT(algo.orientation_rounds(), 0);
+  ASSERT_EQ(stats.phases.size(), 2u);
+  EXPECT_EQ(stats.phases[0].name, "be_orientation");
+  EXPECT_EQ(stats.phases[1].name, "adaptive_mds");
+  EXPECT_GT(stats.phases[0].rounds, 0);  // the prologue paid real rounds
+  EXPECT_EQ(stats.phases[0].rounds + stats.phases[1].rounds, stats.rounds);
   EXPECT_GT(algo.iterations(), 0);
   // Per-node lambdas were derived from local orientation estimates.
   for (NodeId v = 0; v < wg.num_nodes(); ++v)
     EXPECT_GT(algo.lambda_per_node()[v], 0.0);
+}
+
+TEST(UnknownAlpha, AdaptivePhaseWithoutPrologueIsRejected) {
+  auto wg = WeightedGraph::uniform(gen::star(8));
+  Network net(wg);
+  AdaptiveMdsParams params;
+  params.mode = AdaptiveMode::kUnknownAlpha;
+  params.eps = 0.5;
+  AdaptiveMds algo(params);
+  EXPECT_THROW(net.run(algo, 100), CheckError);
 }
 
 TEST(UnknownAlpha, EmptyAndSingletonGraphs) {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a fresh exp12 scenario JSON against the checked-in baseline.
+
+Usage: compare_bench.py BASELINE.json FRESH.json [--threshold 0.25]
+                        [--uniform-slack 2.0]
+
+Rows are matched on (instance, solver, threads). For every matched row:
+  * counter fields (n, m, rounds, messages, total_bits, set_size, weight)
+    must be exactly equal — the simulator promises bit-identical results,
+    so any drift is a correctness regression, not noise;
+  * the `identical` determinism verdict must be true in the fresh run.
+
+Timing is judged robustly against runner-speed differences (the baseline
+is regenerated on whatever machine last shifted the engine's numbers, CI
+runs on another): each row's seconds ratio is normalized by the geometric
+mean ratio over all rows (the "machine factor"), and a row fails when its
+NORMALIZED ratio exceeds 1 + threshold — i.e. when it regressed relative
+to the rest of the suite. A uniform slowdown hides from that check, so
+the machine factor itself fails the gate only past --uniform-slack
+(default 2.0x), generous enough for runner-class variance but not for a
+catastrophic engine-wide regression.
+
+Exit code 0 = pass, 1 = regression / mismatch, 2 = usage or missing rows.
+"""
+import argparse
+import json
+import math
+import sys
+
+
+def key(row):
+    return (row["instance"], row["solver"], row["threads"])
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional per-row regression after "
+                             "machine-speed normalization")
+    parser.add_argument("--uniform-slack", type=float, default=2.0,
+                        help="allowed uniform (machine-factor) slowdown")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = {key(r): r for r in json.load(f)}
+    with open(args.fresh) as f:
+        fresh = {key(r): r for r in json.load(f)}
+
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        print(f"FAIL: fresh run is missing baseline rows: {missing}")
+        return 2
+
+    counters = ("n", "m", "rounds", "messages", "total_bits", "set_size",
+                "weight")
+    failures = 0
+    ratios = {}
+    for k, base in sorted(baseline.items()):
+        new = fresh[k]
+        for field in counters:
+            if base[field] != new[field]:
+                print(f"FAIL {k}: {field} changed "
+                      f"{base[field]} -> {new[field]} (must match exactly)")
+                failures += 1
+        if not new.get("identical", False):
+            print(f"FAIL {k}: determinism verdict is false")
+            failures += 1
+        ratios[k] = (new["seconds"] / base["seconds"]
+                     if base["seconds"] > 0 else 1.0)
+
+    machine = math.exp(sum(math.log(max(r, 1e-12)) for r in ratios.values())
+                       / len(ratios)) if ratios else 1.0
+    print(f"machine factor (geomean seconds ratio): {machine:.3f}x")
+    if machine > args.uniform_slack:
+        print(f"FAIL: uniform slowdown {machine:.2f}x exceeds "
+              f"--uniform-slack {args.uniform_slack:.2f}x")
+        failures += 1
+
+    for k, ratio in sorted(ratios.items()):
+        normalized = ratio / machine
+        verdict = "ok"
+        if normalized > 1.0 + args.threshold:
+            verdict = f"REGRESSION (> +{args.threshold:.0%} normalized)"
+            failures += 1
+        print(f"{k}: {baseline[k]['seconds']:.6f}s -> "
+              f"{fresh[k]['seconds']:.6f}s "
+              f"(raw {ratio - 1.0:+.1%}, normalized {normalized - 1.0:+.1%}) "
+              f"{verdict}")
+
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("all rows within threshold; counters exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
