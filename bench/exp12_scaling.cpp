@@ -1,20 +1,23 @@
-// Experiment 12: simulator scaling — instance size x worker-pool width.
+// Experiment 12: simulator scaling — instance size x worker-pool width
+// x shard count.
 //
 // A thin shell over the scenario batch runner (src/harness/scenario.hpp):
-// the selected scaling-corpus instances x solvers x thread widths expand
-// into one ScenarioSpec, run on pooled Networks (one Network per
-// (instance, width), constructed once and reused across repeats), and the
-// rows print as one JSON object per run on stdout (a JSON array), ready
-// for plotting or CI artifact upload:
+// the selected scaling-corpus instances x solvers x thread widths x shard
+// counts expand into one ScenarioSpec, run on pooled Networks (one
+// Network per (instance, width, shards), constructed once and reused
+// across repeats), and the rows print as one JSON object per run on
+// stdout (a JSON array), ready for plotting or CI artifact upload:
 //
 //   exp12_scaling [--sizes 10000,50000,100000] [--threads 1,2,4,8]
-//                 [--solvers greedy-threshold] [--families tree,forest2,...]
+//                 [--shards 1,2,4] [--solvers greedy-threshold]
+//                 [--families tree,forest2,...]
 //                 [--seed S] [--repeats N] [--smoke]
 //
-// Every (instance, solver) cell is run once per thread count on the SAME
-// cached instance; the simulator guarantees bit-identical MdsResults for
-// every width, which the scenario runner re-checks (`identical` field) so
-// a sweep doubles as an end-to-end determinism audit at scale. With
+// Every (instance, solver) cell is run once per thread count and shard
+// count on the SAME cached instance; the simulator guarantees
+// bit-identical MdsResults for every width and every shard count, which
+// the scenario runner re-checks (`identical` field) so a sweep doubles
+// as an end-to-end determinism audit at scale. With
 // --repeats N a cell is run N extra times after an untimed warm-up run
 // and the reported `seconds` is the median (every repeat is also
 // determinism-checked), so checked-in baselines such as BENCH_exp12.json
@@ -49,7 +52,7 @@ std::vector<int> split_ints(const std::string& csv) {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: exp12_scaling [--sizes N1,N2,...] [--threads "
-               "W1,W2,...]\n"
+               "W1,W2,...] [--shards K1,K2,...]\n"
                "                     [--solvers name1,name2,...] [--families "
                "f1,f2,...]\n"
                "                     [--seed S] [--repeats N] [--smoke]\n";
@@ -61,6 +64,7 @@ std::vector<int> split_ints(const std::string& csv) {
 int main(int argc, char** argv) {
   std::vector<int> sizes = {10'000, 50'000, 100'000};
   std::vector<int> threads = {1, 2, 4, 8};
+  std::vector<int> shards = {1};
   std::vector<std::string> solvers = {"greedy-threshold"};
   std::vector<std::string> families = {"tree", "forest2", "ba3"};
   std::uint64_t seed = 12345;
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--sizes")) sizes = split_ints(need("--sizes"));
     else if (!std::strcmp(argv[i], "--threads")) threads = split_ints(need("--threads"));
+    else if (!std::strcmp(argv[i], "--shards")) shards = split_ints(need("--shards"));
     else if (!std::strcmp(argv[i], "--solvers")) solvers = split_list(need("--solvers"));
     else if (!std::strcmp(argv[i], "--families")) families = split_list(need("--families"));
     else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
   for (const std::string& name : solvers)
     spec.solvers.push_back({name, std::nullopt, name});
   spec.thread_widths = threads;
+  spec.shard_counts = shards;
   spec.seeds = {seed};
   spec.repeats = repeats;
   spec.base_config.seed = seed;
@@ -114,7 +120,8 @@ int main(int argc, char** argv) {
   for (const auto& row : rows) {
     if (row.identical) continue;
     std::cerr << "DETERMINISM VIOLATION: " << row.instance << " / "
-              << row.solver << " at threads=" << row.threads << "\n";
+              << row.solver << " at threads=" << row.threads
+              << " shards=" << row.shards << "\n";
     return 1;
   }
   return 0;

@@ -12,6 +12,9 @@
 //             --seed S
 //             --threads W (simulator worker pool; 0 = all hardware threads,
 //                          default 1; results identical for every W)
+//             --shards K (simulator shard count; default 1 = single-arena
+//                         Network, K > 1 = ShardedNetwork over K shards;
+//                         results identical for every K)
 // families:   tree | forest2 | forest5 | grid | planar | ba2 | ba4 | er
 #include <cstring>
 #include <iostream>
@@ -49,7 +52,7 @@ void print_solver_table(std::ostream& os) {
                "grid|planar|ba2|ba4|er --n N)\n"
                "                  [--alpha A] [--eps E] [--t T] [--k K]\n"
                "                  [--weights unit|uniform|powerlaw|degree|"
-               "invdegree] [--seed S] [--threads W]\n";
+               "invdegree] [--seed S] [--threads W] [--shards K]\n";
   print_solver_table(std::cerr);
   std::exit(2);
 }
@@ -108,6 +111,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--weights")) weights = need("--weights");
     else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
     else if (!std::strcmp(argv[i], "--threads")) params.threads = std::stoi(need("--threads"));
+    else if (!std::strcmp(argv[i], "--shards")) params.shards = std::stoi(need("--shards"));
     else usage();
   }
 
@@ -137,9 +141,14 @@ int main(int argc, char** argv) {
   inst.forest = is_forest(inst.wg.graph());
   harness::ScenarioSpec spec;
   const int width = params.threads >= 0 ? params.threads : 1;
+  // -1 = default (unsharded); anything else is validated by the scenario
+  // runner so `--shards 0` fails loudly instead of silently running K=1.
+  const int shard_count = params.shards == -1 ? 1 : params.shards;
   params.threads = -1;
+  params.shards = -1;
   spec.solvers.push_back({std::string(algo), params, std::string(algo)});
   spec.thread_widths = {width};
+  spec.shard_counts = {shard_count};
   spec.seeds = {seed};
   spec.skip_inapplicable = false;
   spec.validate = false;  // validated below with an explicit tolerance
@@ -166,6 +175,9 @@ int main(int argc, char** argv) {
   std::cout << "CONGEST rounds:  " << res.stats.rounds << "\n"
             << "messages:        " << res.stats.messages << "\n"
             << "max msg bits:    " << res.stats.max_message_bits << "\n";
+  if (shard_count > 1)
+    std::cout << "shards:          " << shard_count
+              << " (bit-identical to the unsharded run)\n";
   for (const PhaseStats& phase : res.stats.phases)
     std::cout << "  phase " << phase.name << ": " << phase.rounds
               << " rounds, " << phase.messages << " messages, "

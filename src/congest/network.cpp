@@ -4,11 +4,15 @@
 #include <bit>
 #include <limits>
 #include <thread>
+#include <type_traits>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "common/shrink.hpp"
 
 namespace arbods {
+
+using detail::maybe_shrink;
 
 namespace {
 
@@ -20,19 +24,16 @@ namespace {
 // worker's index — safely accounts to its own slot 0.
 thread_local int tls_worker = 0;
 
-// Post-run shrink for per-worker scratch vectors: a run that once touched
-// millions of lanes must not pin that capacity for the lifetime of the
-// Network. Contents are preserved (the touched lists still describe lanes
-// the next run() has to clear).
-template <typename T>
-void maybe_shrink(std::vector<T>& v, std::size_t used) {
-  const std::size_t target = std::max<std::size_t>(2 * used, 64);
-  if (v.capacity() > 1024 && v.capacity() / 4 > target) {
-    std::vector<T> tmp;
-    tmp.reserve(std::max(target, v.size()));
-    tmp.assign(v.begin(), v.end());
-    v.swap(tmp);
+// Pool width for a standalone (non-shard-member) Network.
+int derive_workers(const CongestConfig& config, NodeId n) {
+  int workers = config.threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
   }
+  if (n > 0 && workers > static_cast<int>(n)) workers = static_cast<int>(n);
+  if (n == 0) workers = 1;
+  return workers;
 }
 
 }  // namespace
@@ -51,19 +52,24 @@ std::size_t InboxView::size() const {
 }
 
 Network::Network(const WeightedGraph& wg, CongestConfig config)
-    : wg_(&wg), config_(config) {
-  const Graph& g = wg.graph();
-  const NodeId n = g.num_nodes();
+    : Network(wg, config, SliceInit{0, wg.graph().num_nodes(), 0}) {}
+
+void Network::init_size_model() {
+  // All message widths derive from the GLOBAL instance: a shard member
+  // must enforce exactly the cap the unsharded simulator would.
+  const NodeId n = wg_->num_nodes();
   size_model_.id_bits = bit_width_for(n == 0 ? 1 : n - 1);
-  size_model_.weight_bits = wg.weight_bits();
+  size_model_.weight_bits = wg_->weight_bits();
   // Levels count (1+eps)-steps; 2 * log2(n * W) covers every algorithm here.
   size_model_.level_bits =
       std::min(31, 2 * (bit_width_for(n + 1) + size_model_.weight_bits));
   size_model_.real_bits = default_value_codec().bit_width();
   max_message_bits_ = congest_message_cap(config_, n);
+}
 
-  // CSR arc offsets, the mirror permutation (out-arc -> receiver lane) and
-  // the lane -> receiver map.
+std::size_t Network::build_csr_topology() {
+  const Graph& g = wg_->graph();
+  const NodeId n = g.num_nodes();
   offsets_.resize(static_cast<std::size_t>(n) + 1);
   offsets_[0] = 0;
   for (NodeId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + g.degree(v);
@@ -86,6 +92,40 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
     }
     for (std::size_t l = offsets_[v]; l < offsets_[v + 1]; ++l)
       lane_receiver_[l] = v;
+  }
+  return arcs;
+}
+
+Network::Network(const WeightedGraph& wg, CongestConfig config,
+                 SliceInit slice)
+    : wg_(&wg), config_(config), node_begin_(slice.node_begin),
+      is_shard_member_(slice.workers > 0) {
+  const Graph& g = wg.graph();
+  const NodeId n = g.num_nodes();
+  ARBODS_CHECK(slice.node_begin <= slice.node_end && slice.node_end <= n);
+  const NodeId ns = slice.node_end - slice.node_begin;
+  init_size_model();
+
+  // CSR arc offsets and the lane -> receiver map. A shard member covers
+  // only the owned block (lane indices are block-local; receivers keep
+  // their global ids) and skips the out-arc -> receiver-lane mirror: its
+  // deposits arrive pre-routed from the facade, which owns the global
+  // mirror.
+  std::size_t arcs;
+  if (is_shard_member_) {
+    offsets_.resize(static_cast<std::size_t>(ns) + 1);
+    offsets_[0] = 0;
+    for (NodeId i = 0; i < ns; ++i)
+      offsets_[i + 1] = offsets_[i] + g.degree(node_begin_ + i);
+    arcs = offsets_[ns];
+    ARBODS_CHECK_MSG(arcs < std::numeric_limits<EdgeSlot>::max(),
+                     "graph too large for 32-bit edge slots");
+    lane_receiver_.resize(arcs);
+    for (NodeId i = 0; i < ns; ++i)
+      for (std::size_t l = offsets_[i]; l < offsets_[i + 1]; ++l)
+        lane_receiver_[l] = node_begin_ + i;
+  } else {
+    arcs = build_csr_topology();
   }
 
   // Uniform initial lane regions: the length word plus room for one
@@ -112,13 +152,11 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
   in_arena_ = &arena_a_;
   out_arena_ = &arena_b_;
 
-  int workers = config_.threads;
-  if (workers <= 0) {
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (workers < 1) workers = 1;
-  }
-  if (n > 0 && workers > static_cast<int>(n)) workers = static_cast<int>(n);
-  if (n == 0) workers = 1;
+  // A shard member sizes its per-worker scratch for the facade's pool,
+  // whose threads execute the deposits; only a standalone Network owns a
+  // pool of its own.
+  const int workers =
+      is_shard_member_ ? slice.workers : derive_workers(config_, n);
   worker_stats_.assign(static_cast<std::size_t>(workers), WorkerStats{});
   touched_out_.assign(static_cast<std::size_t>(workers), {});
   touched_in_.assign(static_cast<std::size_t>(workers), {});
@@ -127,29 +165,54 @@ Network::Network(const WeightedGraph& wg, CongestConfig config)
   for (auto& s : scratch_) s.reserve(std::max<std::size_t>(2 * base_words, 64));
   calendars_.assign(static_cast<std::size_t>(workers), {});
   for (auto& cal : calendars_) cal.ring.resize(16);
-  if (workers > 1) pool_ = std::make_unique<WorkerPool>(workers);
+  if (!is_shard_member_ && workers > 1)
+    pool_ = std::make_unique<WorkerPool>(workers);
 
-  active_mark_.assign(n, 0);
+  active_mark_.assign(ns, 0);
   active_list_.reserve(64);
 
-  node_rngs_.reserve(n);
+  node_rngs_.reserve(ns);
   Rng base(config_.seed);
-  for (NodeId v = 0; v < n; ++v) node_rngs_.push_back(base.split(v));
+  for (NodeId i = 0; i < ns; ++i)
+    node_rngs_.push_back(base.split(node_begin_ + i));
+  rng_image_ = node_rngs_;
+  rng_streams_fresh_ = true;
+}
+
+Network::Network(const WeightedGraph& wg, CongestConfig config, FacadeInit)
+    : wg_(&wg), config_(config) {
+  const NodeId n = wg.graph().num_nodes();
+  init_size_model();
+  // Global topology only: the facade routes every send through the
+  // out-arc -> lane mirror, but the lane arenas (and every other
+  // per-node structure) live in the shard members it owns.
+  build_csr_topology();
+
+  const int workers = derive_workers(config_, n);
+  worker_stats_.assign(static_cast<std::size_t>(workers), WorkerStats{});
+  scratch_.assign(static_cast<std::size_t>(workers), {});
+  for (auto& s : scratch_) s.reserve(64);
+  if (workers > 1) pool_ = std::make_unique<WorkerPool>(workers);
+  active_list_.reserve(64);
   rng_streams_fresh_ = true;
 }
 
 void Network::reseed_node_rngs() {
   if (rng_streams_fresh_) return;
-  Rng base(config_.seed);
-  for (NodeId v = 0; v < num_nodes(); ++v) node_rngs_[v] = base.split(v);
+  // Phase-boundary restore: copy the cached seed-derived images (built
+  // once at construction) back over the consumed streams — a flat copy
+  // of trivially copyable state instead of an O(n) splitmix
+  // re-derivation per stream.
+  static_assert(std::is_trivially_copyable_v<Rng>);
+  std::copy(rng_image_.begin(), rng_image_.end(), node_rngs_.begin());
   rng_streams_fresh_ = true;
 }
 
 int Network::num_workers() const { return pool_ ? pool_->num_workers() : 1; }
 
 Rng& Network::rng(NodeId v) {
-  ARBODS_DCHECK(v < num_nodes());
-  return node_rngs_[v];
+  ARBODS_DCHECK(v >= node_begin_ && v - node_begin_ < node_rngs_.size());
+  return node_rngs_[v - node_begin_];
 }
 
 void Network::check_cap(int bits) const {
@@ -178,6 +241,18 @@ bool Network::lane_spilled(std::size_t worker, EdgeSlot lane) const {
   return sp.lane_marked[lane] != 0;
 }
 
+std::size_t Network::encode_into_scratch(std::size_t w, const Message& m,
+                                         NodeId sender, int* bits) {
+  std::vector<std::uint64_t>& scratch = scratch_[w];
+  const std::size_t bound = wire_words_bound(m);
+  if (scratch.size() < bound) scratch.resize(bound);
+  const std::size_t need = wire_encode(m, sender, size_model_,
+                                       config_.quantize_reals, scratch.data(),
+                                       bits);
+  check_cap(*bits);
+  return need;
+}
+
 int Network::deposit_encoded(EdgeSlot lane, const Message& m, NodeId sender) {
   const std::size_t w = worker_slot();
   // wire_words_bound is O(1); the exact size and the accounted bits fall
@@ -203,12 +278,8 @@ int Network::deposit_encoded(EdgeSlot lane, const Message& m, NodeId sender) {
   } else {
     // Tight or spilled lane: encode into the worker scratch first, check,
     // then route through the ordinary word-deposit path.
-    std::vector<std::uint64_t>& scratch = scratch_[w];
-    if (scratch.size() < bound) scratch.resize(bound);
-    const std::size_t need = wire_encode(
-        m, sender, size_model_, config_.quantize_reals, scratch.data(), &bits);
-    check_cap(bits);
-    deposit_words(w, lane, scratch.data(), need);
+    const std::size_t need = encode_into_scratch(w, m, sender, &bits);
+    deposit_words(w, lane, scratch_[w].data(), need);
   }
   return bits;
 }
@@ -234,17 +305,21 @@ void Network::deposit_words(std::size_t w, EdgeSlot lane,
   }
 }
 
-void Network::send(NodeId from, NodeId to, const Message& m) {
+std::size_t Network::resolve_arc(NodeId from, NodeId to) const {
   const auto nb = graph().neighbors(from);
   const auto it = std::lower_bound(nb.begin(), nb.end(), to);
   ARBODS_CHECK_MSG(it != nb.end() && *it == to,
                    "send along non-edge (" << from << "," << to << ")");
-  const std::size_t arc =
-      offsets_[from] + static_cast<std::size_t>(it - nb.begin());
-  account_bits(deposit_encoded(mirror_[arc], m, from));
+  return offsets_[from] + static_cast<std::size_t>(it - nb.begin());
+}
+
+void Network::send(NodeId from, NodeId to, const Message& m) {
+  ARBODS_DCHECK(!is_shard_member_);  // members receive pre-routed deposits
+  account_bits(deposit_encoded(mirror_[resolve_arc(from, to)], m, from));
 }
 
 void Network::broadcast(NodeId from, const Message& m) {
+  ARBODS_DCHECK(!is_shard_member_);  // members receive pre-routed deposits
   const std::size_t begin = offsets_[from];
   const std::size_t end = offsets_[from + 1];
   if (begin == end) return;
@@ -254,16 +329,10 @@ void Network::broadcast(NodeId from, const Message& m) {
   // before anything is deposited, so an oversized broadcast still throws
   // without side effects.
   const std::size_t w = worker_slot();
-  std::vector<std::uint64_t>& scratch = scratch_[w];
-  const std::size_t bound = wire_words_bound(m);
-  if (scratch.size() < bound) scratch.resize(bound);
   int bits = 0;
-  const std::size_t need = wire_encode(m, from, size_model_,
-                                       config_.quantize_reals, scratch.data(),
-                                       &bits);
-  check_cap(bits);
+  const std::size_t need = encode_into_scratch(w, m, from, &bits);
   for (std::size_t arc = begin; arc != end; ++arc)
-    deposit_words(w, mirror_[arc], scratch.data(), need);
+    deposit_words(w, mirror_[arc], scratch_[w].data(), need);
   const std::int64_t fanout = static_cast<std::int64_t>(end - begin);
   WorkerStats& slot = worker_stats_[w];
   slot.messages += fanout;
@@ -272,13 +341,14 @@ void Network::broadcast(NodeId from, const Message& m) {
 }
 
 InboxView Network::inbox(NodeId v) const {
-  ARBODS_DCHECK(v < num_nodes());
-  return InboxView(in_arena_->get(), lane_base_.data(), offsets_[v],
-                   offsets_[v + 1], &size_model_, config_.quantize_reals);
+  const std::size_t i = static_cast<std::size_t>(v) - node_begin_;
+  ARBODS_DCHECK(v >= node_begin_ && i + 1 < offsets_.size());
+  return InboxView(in_arena_->get(), lane_base_.data(), offsets_[i],
+                   offsets_[i + 1], &size_model_, config_.quantize_reals);
 }
 
 void Network::arm_at(NodeId v, std::int64_t round) {
-  ARBODS_DCHECK(v < num_nodes());
+  ARBODS_DCHECK(v >= node_begin_ && v - node_begin_ < active_mark_.size());
   ARBODS_CHECK_MSG(round > round_,
                    "arm_at(" << v << ", " << round << ") is not in the future"
                              << " (current round " << round_ << ")");
@@ -422,8 +492,8 @@ void Network::rebuild_active_set() {
   for (const auto& list : touched_in_) {
     for (const EdgeSlot lane : list) {
       const NodeId v = lane_receiver_[lane];
-      if (active_mark_[v] != epoch) {
-        active_mark_[v] = epoch;
+      if (active_mark_[v - node_begin_] != epoch) {
+        active_mark_[v - node_begin_] = epoch;
         active_list_.push_back(v);
       }
     }
@@ -437,8 +507,8 @@ void Network::rebuild_active_set() {
     if (bucket.round != due) continue;
     armed_highwater_ = std::max(armed_highwater_, bucket.nodes.size());
     for (const NodeId v : bucket.nodes) {
-      if (active_mark_[v] != epoch) {
-        active_mark_[v] = epoch;
+      if (active_mark_[v - node_begin_] != epoch) {
+        active_mark_[v - node_begin_] = epoch;
         active_list_.push_back(v);
       }
     }
@@ -451,11 +521,12 @@ void Network::rebuild_active_set() {
   // Dense rounds re-extract from the marks with one sequential pass;
   // sparse rounds sort the short list. Either way the order (not just the
   // contents) is now independent of the pool width.
-  const std::size_t n = active_mark_.size();
-  if (active_list_.size() >= n / 8) {
+  const std::size_t ns = active_mark_.size();
+  if (active_list_.size() >= ns / 8) {
     active_scratch_.clear();
-    for (NodeId v = 0; v < n; ++v)
-      if (active_mark_[v] == epoch) active_scratch_.push_back(v);
+    for (std::size_t i = 0; i < ns; ++i)
+      if (active_mark_[i] == epoch)
+        active_scratch_.push_back(node_begin_ + static_cast<NodeId>(i));
     active_list_.swap(active_scratch_);
   } else {
     std::sort(active_list_.begin(), active_list_.end());

@@ -88,6 +88,14 @@ struct CongestConfig {
   /// once and regrow individually. Tests set a tiny value to exercise the
   /// spill/regrow path.
   int lane_capacity_words_hint = 0;
+  /// Number of shards the instance is partitioned into. 1 (default) =
+  /// the classic single-arena Network; K > 1 = a ShardedNetwork facade
+  /// over K per-shard Networks joined by the inter-shard message bridge
+  /// (see src/shard/). Results are bit-identical for every value; the
+  /// knob only changes how the lane arenas are laid out and driven.
+  /// Honored by shard::make_network (constructing a plain Network
+  /// ignores it).
+  int shards = 1;
 
   friend bool operator==(const CongestConfig&, const CongestConfig&) = default;
 };
@@ -235,9 +243,24 @@ class InboxView {
   bool quantized_;
 };
 
+namespace shard {
+class ShardedNetwork;
+}  // namespace shard
+
+/// The round-synchronous simulator. The class is also the *driving
+/// surface* of the sharded simulator: shard::ShardedNetwork derives from
+/// it and overrides the handful of virtual seams below (send/inbox/rng/
+/// arm_at plus the per-round internals), so ProtocolRunner, every Phase,
+/// and the scenario runner drive a sharded instance through the exact
+/// same API with bit-identical results. A plain Network pays one virtual
+/// dispatch per seam call and nothing else.
 class Network {
  public:
   Network(const WeightedGraph& wg, CongestConfig config = {});
+  virtual ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   // --- topology / instance access (public parameters) ---
   NodeId num_nodes() const { return wg_->num_nodes(); }
@@ -253,14 +276,14 @@ class Network {
   const MessageSizeModel& size_model() const { return size_model_; }
 
   /// Per-node deterministic RNG stream.
-  Rng& rng(NodeId v);
+  virtual Rng& rng(NodeId v);
 
   // --- communication (called from within process_round/initialize) ---
-  void send(NodeId from, NodeId to, const Message& m);
-  void broadcast(NodeId from, const Message& m);
+  virtual void send(NodeId from, NodeId to, const Message& m);
+  virtual void broadcast(NodeId from, const Message& m);
 
   /// Messages delivered to v at the start of the current round.
-  InboxView inbox(NodeId v) const;
+  virtual InboxView inbox(NodeId v) const;
 
   std::int64_t current_round() const { return round_; }
 
@@ -312,7 +335,7 @@ class Network {
   /// active set in the target round (a for_nodes-only stage), the wake
   /// carries forward round by round and fires in the first round that
   /// does look — deferred, never dropped.
-  void arm_at(NodeId v, std::int64_t round);
+  virtual void arm_at(NodeId v, std::int64_t round);
 
   /// This round's active set (receivers + previously armed). Mainly for
   /// tests and diagnostics.
@@ -344,7 +367,7 @@ class Network {
   /// per-worker scratch, RNG stream storage. A run after reset_for_reuse
   /// is byte-identical to a run on a newly constructed Network over the
   /// same graph/config, minus the construction cost (tested).
-  void reset_for_reuse();
+  virtual void reset_for_reuse();
 
   /// Runs one named phase of a composed protocol on this Network and
   /// appends its PhaseStats to stats().phases, accumulating into the
@@ -361,13 +384,38 @@ class Network {
   const RunStats& stats() const { return stats_; }
 
   /// Total arena size in 64-bit words (both double buffers have this
-  /// size). Diagnostics/tests only — the alloc regression uses it to
-  /// pin "arena storage is constructed exactly once per Network".
-  std::size_t arena_words() const { return arena_words_; }
+  /// size; a sharded facade reports the sum over its shards).
+  /// Diagnostics/tests only — the alloc regression uses it to pin
+  /// "arena storage is constructed exactly once per Network".
+  virtual std::size_t arena_words() const { return arena_words_; }
+
+ protected:
+  /// Tag for the sharded-facade constructor: topology indices, worker
+  /// pool, and per-worker encode scratch only — no lane arenas, RNG
+  /// streams, timer wheels, or active-set marks (those live in the
+  /// per-shard member Networks the facade owns).
+  struct FacadeInit {};
+  Network(const WeightedGraph& wg, CongestConfig config, FacadeInit);
 
  private:
+  friend class shard::ShardedNetwork;
+
   /// Lane index into the flat per-directed-edge buffers.
   using EdgeSlot = std::uint32_t;
+
+  /// Shard-member construction: the Network owns the lane arenas for the
+  /// in-arcs of the contiguous node block [node_begin, node_end), plus
+  /// that block's RNG streams, timer wheels, and active-set state — all
+  /// keyed by *global* node ids so behavior is bit-identical to the
+  /// unsharded simulator. Per-worker scratch is sized for the facade's
+  /// pool (`workers`), whose threads execute the deposits; the member
+  /// itself owns no pool and is never driven via run()/run_phase().
+  struct SliceInit {
+    NodeId node_begin;
+    NodeId node_end;
+    int workers;
+  };
+  Network(const WeightedGraph& wg, CongestConfig config, SliceInit slice);
 
   struct alignas(64) WorkerStats {
     std::int64_t messages = 0;
@@ -393,14 +441,32 @@ class Network {
     std::vector<std::uint8_t> lane_marked;
   };
 
-  void flip_buffers();
-  void clear_all_lanes();
-  void reseed_node_rngs();
+  // Virtual per-round / per-phase seams: run(), run_phase(), and
+  // reset_for_reuse() are written once against these, and the sharded
+  // facade overrides them to fan the work out over its shard members
+  // (inject the bridge buffers, flip every shard, union the active sets).
+  virtual void flip_buffers();
+  virtual void clear_all_lanes();
+  virtual void reseed_node_rngs();
+  virtual void rebuild_active_set();
+  virtual void shrink_scratch();
   void merge_spills_and_grow();
   struct WorkerCalendar;
   void arm_into(WorkerCalendar& cal, NodeId v, std::int64_t round);
-  void rebuild_active_set();
-  void shrink_scratch();
+  /// Message widths + cap from the global instance (all constructors).
+  void init_size_model();
+  /// Full-range CSR offsets, mirror permutation, and lane -> receiver
+  /// map (standalone and facade constructors); returns the arc count.
+  std::size_t build_csr_topology();
+  /// Arc index of edge (from, to) via binary search over from's sorted
+  /// neighbors; throws on a non-edge. Full-range Networks only.
+  std::size_t resolve_arc(NodeId from, NodeId to) const;
+  /// Encodes m into scratch_[w] (growing it as needed) and cap-checks
+  /// before anything is deposited; returns the wire word count and the
+  /// accounted bits through *bits. The single encode-side contract shared
+  /// by broadcast, tight-lane deposits, and the inter-shard bridge.
+  std::size_t encode_into_scratch(std::size_t w, const Message& m,
+                                  NodeId sender, int* bits);
   std::size_t worker_slot() const;
   void check_cap(int bits) const;
   void account_bits(int bits);
@@ -419,6 +485,14 @@ class Network {
   MessageSizeModel size_model_;
   int max_message_bits_ = 0;
   std::int64_t round_ = 0;
+
+  // Shard-member state: first owned global node id (0 for a full-range
+  // Network — every per-node index below is `v - node_begin_`, which the
+  // unsharded case compiles down to `v`), and whether this Network is a
+  // facade-owned member (sends then route through the facade, never
+  // through this object's send/broadcast).
+  NodeId node_begin_ = 0;
+  bool is_shard_member_ = false;
 
   // CSR arc offsets (offsets_[v]..offsets_[v+1] are v's incident lanes in
   // receiver order), the out-arc -> receiver-lane mirror permutation, and
@@ -490,6 +564,10 @@ class Network {
   std::vector<WorkerStats> worker_stats_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<Rng> node_rngs_;
+  // Untouched seed-derived copies of node_rngs_, built once at
+  // construction: a phase-boundary reseed is a flat memcpy-style restore
+  // of this image instead of an O(n) splitmix re-derivation per stream.
+  std::vector<Rng> rng_image_;
   // True while node_rngs_ hold untouched seed-derived streams (set by
   // construction/reseed, cleared when a phase starts consuming them), so
   // back-to-back reset_for_reuse + run_phase pays one O(n) reseed, not

@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
 #include "harness/oracle.hpp"
+#include "shard/sharded_network.hpp"
 
 namespace arbods::harness {
 
@@ -15,8 +16,7 @@ Network& NetworkPool::acquire(const WeightedGraph& wg,
                               const CongestConfig& config) {
   for (Entry& e : entries_)
     if (e.wg == &wg && e.config == config) return *e.net;
-  entries_.push_back(
-      Entry{&wg, config, std::make_unique<Network>(wg, config)});
+  entries_.push_back(Entry{&wg, config, shard::make_network(wg, config)});
   ++constructed_;
   return *entries_.back().net;
 }
@@ -56,6 +56,10 @@ std::vector<ScenarioRow> run_scenario(
     std::span<const CorpusInstance* const> instances) {
   ARBODS_CHECK_MSG(!spec.solvers.empty(), "scenario has no solvers");
   ARBODS_CHECK_MSG(!spec.thread_widths.empty(), "scenario has no widths");
+  ARBODS_CHECK_MSG(!spec.shard_counts.empty(), "scenario has no shard counts");
+  for (const int shard_count : spec.shard_counts)
+    ARBODS_CHECK_MSG(shard_count >= 1,
+                     "shard counts must be >= 1, got " << shard_count);
   ARBODS_CHECK_MSG(!spec.seeds.empty(), "scenario has no seeds");
   ARBODS_CHECK_MSG(spec.repeats >= 1, "repeats must be >= 1");
 
@@ -78,22 +82,25 @@ std::vector<ScenarioRow> run_scenario(
       SolverParams params =
           scenario_solver.params.value_or(params_for(info, inst));
       params.threads = -1;  // the width lives in the Network config
+      params.shards = -1;   // so does the shard count
       // Validate once per cell, outside the timed repeat loop (the
       // forests_only check walks the whole graph; run_solver_on would
       // redo it per repeat inside the Stopwatch window).
       info.check_params(params);
 
       for (const std::uint64_t seed : spec.seeds) {
-        // One reference per (instance, solver, seed): every width and
-        // every repeat must reproduce it bit-for-bit — a sweep doubles
-        // as an end-to-end determinism audit.
+        // One reference per (instance, solver, seed): every width, every
+        // shard count, and every repeat must reproduce it bit-for-bit —
+        // a sweep doubles as an end-to-end determinism audit.
         MdsResult reference;
         bool have_reference = false;
 
         for (const int width : spec.thread_widths) {
+        for (const int shard_count : spec.shard_counts) {
           CongestConfig cfg = spec.base_config;
           cfg.seed = seed;
           cfg.threads = width;
+          cfg.shards = shard_count;
           Network& net = pool.acquire(inst.wg, cfg);
 
           bool identical = true;
@@ -134,12 +141,14 @@ std::vector<ScenarioRow> run_scenario(
           row.solver = scenario_solver.label.empty() ? scenario_solver.name
                                                      : scenario_solver.label;
           row.threads = width;
+          row.shards = shard_count;
           row.seed = seed;
           row.repeats = spec.repeats;
           row.seconds = seconds;
           row.result = std::move(res);
           row.identical = identical;
           rows.push_back(std::move(row));
+        }
         }
       }
     }
@@ -167,11 +176,13 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
   for (const ScenarioRow& row : rows) {
     if (!first) os << ",\n";
     first = false;
-    os << "  {\"instance\": " << json_string(row.instance)
+    os << "  {\"schema_version\": " << kScenarioJsonSchemaVersion
+       << ", \"instance\": " << json_string(row.instance)
        << ", \"family\": " << json_string(row.family)
        << ", \"n\": " << row.n << ", \"m\": " << row.m
        << ", \"solver\": " << json_string(row.solver)
        << ", \"threads\": " << row.threads
+       << ", \"shards\": " << row.shards
        << ", \"seconds\": " << row.seconds
        << ", \"repeats\": " << row.repeats
        << ", \"rounds\": " << row.result.stats.rounds

@@ -41,6 +41,10 @@ struct ScenarioSolver {
 struct ScenarioSpec {
   std::vector<ScenarioSolver> solvers;
   std::vector<int> thread_widths = {1};
+  /// Simulator shard counts (one pass per count, like thread_widths; the
+  /// simulator promises bit-identical results for every count, which the
+  /// determinism audit re-checks against the same cell reference).
+  std::vector<int> shard_counts = {1};
   /// Simulator seeds (one pass per seed); defaults to the CongestConfig
   /// default so an unconfigured scenario matches an unconfigured solver
   /// call bit-for-bit.
@@ -73,6 +77,7 @@ struct ScenarioRow {
   std::int64_t m = 0;
   std::string solver;      // the ScenarioSolver label
   int threads = 1;
+  int shards = 1;
   std::uint64_t seed = 0;
   int repeats = 1;
   double seconds = 0.0;    // median over the timed repeats
@@ -82,7 +87,9 @@ struct ScenarioRow {
 
 /// Pools Networks keyed by (graph, config): every run that shares the
 /// pool reuses one Network per key, constructed once and reset between
-/// runs. The construction count is exposed so tests can pin the reuse.
+/// runs (a config with shards > 1 pools a ShardedNetwork — the caller
+/// only ever sees the Network surface). The construction count is
+/// exposed so tests can pin the reuse.
 class NetworkPool {
  public:
   Network& acquire(const WeightedGraph& wg, const CongestConfig& config);
@@ -112,9 +119,14 @@ std::vector<ScenarioRow> run_scenario(
 /// True iff every row's determinism verdict holds.
 bool all_identical(std::span<const ScenarioRow> rows);
 
+/// The exp12 JSON row schema version emitted by write_scenario_json.
+/// v2 added `schema_version` and the per-row `shards` count, so
+/// artifacts from different shard configs are distinguishable.
+inline constexpr int kScenarioJsonSchemaVersion = 2;
+
 /// One JSON object per row, as a JSON array (the exp12 schema):
-/// instance/family/n/m/solver/threads/seconds/repeats/rounds/messages/
-/// total_bits/set_size/weight/identical.
+/// schema_version/instance/family/n/m/solver/threads/shards/seconds/
+/// repeats/rounds/messages/total_bits/set_size/weight/identical.
 void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows);
 
 }  // namespace arbods::harness

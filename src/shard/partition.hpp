@@ -1,0 +1,74 @@
+// Deterministic graph partitioning for the sharded simulator.
+//
+// A ShardPlan splits an n-node instance into K *contiguous* blocks of
+// global node ids. Contiguity is load-bearing twice over:
+//
+//   * the node -> (shard, local-id) mapping is a subtraction
+//     (local = v - node_begin[shard]), stable across runs and machines;
+//   * in the global CSR the in-arcs of a contiguous node block are one
+//     contiguous arc range, so each shard's lane arena is a slice of the
+//     unsharded arena layout and a global lane id converts to a shard
+//     lane id with one subtraction — no per-arc lookup tables.
+//
+// Two partitioners are provided. `partition_contiguous` balances blocks
+// by arc count (each shard's arena and per-round work are proportional to
+// its in-arcs, not its node count). `refine_boundaries` is the optional
+// greedy edge-cut reducer: holding the block *order* fixed, it slides
+// each boundary within the balance-slack window to the position crossed
+// by the fewest edges — cut edges are exactly the bridge traffic, so
+// fewer crossings means smaller relay buffers. Both are pure functions
+// of (graph, K): the plan, and therefore every sharded run, is
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::shard {
+
+/// K contiguous blocks: shard s owns global node ids
+/// [node_begin[s], node_begin[s + 1]). node_begin.front() == 0 and
+/// node_begin.back() == n; blocks are non-empty whenever n >= K.
+struct ShardPlan {
+  std::vector<NodeId> node_begin;
+
+  int num_shards() const { return static_cast<int>(node_begin.size()) - 1; }
+  NodeId shard_begin(int s) const { return node_begin[s]; }
+  NodeId shard_end(int s) const { return node_begin[s + 1]; }
+  NodeId shard_size(int s) const { return shard_end(s) - shard_begin(s); }
+
+  /// The shard owning global node v (O(log K)). Hot paths cache a dense
+  /// per-node map instead (see ShardedNetwork).
+  int shard_of(NodeId v) const;
+
+  /// v's stable block-local id: v - node_begin[shard_of(v)].
+  NodeId local_id(NodeId v) const;
+
+  friend bool operator==(const ShardPlan&, const ShardPlan&) = default;
+};
+
+/// Directed arcs (u, v) with shard_of(u) != shard_of(v): the per-round
+/// worst-case bridge record count.
+std::int64_t cut_arcs(const Graph& g, const ShardPlan& plan);
+
+/// Contiguous blocks balanced by arc count (node count for arc-free
+/// graphs). `num_shards` is clamped to [1, max(1, n)].
+ShardPlan partition_contiguous(const Graph& g, int num_shards);
+
+/// Greedy edge-cut reducer: slides every boundary (left to right, others
+/// fixed) to the minimum-crossing position whose weight prefix stays
+/// within (1 +/- balance_slack) of the ideal arc share. A boundary moves
+/// only when strictly fewer edges cross the new position (among equal
+/// improvements the smallest position wins), so the result is
+/// deterministic and never worse than the input plan.
+ShardPlan refine_boundaries(const Graph& g, ShardPlan plan,
+                            double balance_slack = 0.2);
+
+/// The default pipeline: partition_contiguous, then refine_boundaries
+/// when `refine` is set.
+ShardPlan make_shard_plan(const Graph& g, int num_shards, bool refine = true);
+
+}  // namespace arbods::shard

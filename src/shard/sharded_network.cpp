@@ -1,0 +1,237 @@
+#include "shard/sharded_network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/shrink.hpp"
+
+namespace arbods::shard {
+
+using detail::maybe_shrink;
+
+ShardedNetwork::ShardedNetwork(const WeightedGraph& wg, CongestConfig config)
+    : ShardedNetwork(wg, config,
+                     make_shard_plan(wg.graph(), config.shards)) {}
+
+ShardedNetwork::ShardedNetwork(const WeightedGraph& wg, CongestConfig config,
+                               ShardPlan plan)
+    : Network(wg, config, FacadeInit{}), plan_(std::move(plan)) {
+  const NodeId n = wg.graph().num_nodes();
+  ARBODS_CHECK_MSG(!plan_.node_begin.empty() && plan_.node_begin.front() == 0 &&
+                       plan_.node_begin.back() == n &&
+                       std::is_sorted(plan_.node_begin.begin(),
+                                      plan_.node_begin.end()),
+                   "shard plan does not cover [0, " << n << ")");
+  const std::size_t k = static_cast<std::size_t>(plan_.num_shards());
+  workers_ = worker_stats_.size();
+
+  node_shard_.resize(n);
+  shard_lane_begin_.resize(k + 1);
+  shards_.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const NodeId begin = plan_.shard_begin(static_cast<int>(s));
+    const NodeId end = plan_.shard_end(static_cast<int>(s));
+    for (NodeId v = begin; v < end; ++v)
+      node_shard_[v] = static_cast<std::uint32_t>(s);
+    shard_lane_begin_[s] = offsets_[begin];
+    shards_.emplace_back(new Network(
+        wg, config, SliceInit{begin, end, static_cast<int>(workers_)}));
+  }
+  shard_lane_begin_[k] = offsets_[n];
+  relay_.resize(k * k * workers_);
+}
+
+ShardedNetwork::~ShardedNetwork() = default;
+
+Rng& ShardedNetwork::rng(NodeId v) {
+  ARBODS_DCHECK(v < num_nodes());
+  return shards_[node_shard_[v]]->rng(v);
+}
+
+InboxView ShardedNetwork::inbox(NodeId v) const {
+  ARBODS_DCHECK(v < num_nodes());
+  return shards_[node_shard_[v]]->inbox(v);
+}
+
+void ShardedNetwork::arm_at(NodeId v, std::int64_t round) {
+  ARBODS_DCHECK(v < num_nodes());
+  shards_[node_shard_[v]]->arm_at(v, round);
+}
+
+std::size_t ShardedNetwork::arena_words() const {
+  std::size_t words = 0;
+  for (const auto& sh : shards_) words += sh->arena_words();
+  return words;
+}
+
+void ShardedNetwork::send(NodeId from, NodeId to, const Message& m) {
+  const std::size_t arc = resolve_arc(from, to);
+  const std::uint32_t dst = node_shard_[to];
+  const std::uint32_t src = node_shard_[from];
+  const std::uint32_t lane =
+      static_cast<std::uint32_t>(mirror_[arc] - shard_lane_begin_[dst]);
+  if (src == dst) {
+    account_bits(shards_[dst]->deposit_encoded(lane, m, from));
+  } else {
+    account_bits(relay_deposit(src, dst, lane, m, from));
+  }
+}
+
+void ShardedNetwork::broadcast(NodeId from, const Message& m) {
+  const auto nb = graph().neighbors(from);
+  if (nb.empty()) return;
+  // Encode once into the facade's worker scratch, cap-check before any
+  // deposit, then route word copies per neighbor; the statistics for the
+  // whole fan-out fold into one slot update — exactly the unsharded
+  // broadcast, with the copy targets spread over members and bridge.
+  const std::size_t w = worker_slot();
+  int bits = 0;
+  const std::size_t need = encode_into_scratch(w, m, from, &bits);
+  const std::size_t begin = offsets_[from];
+  const std::uint32_t src = node_shard_[from];
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    const std::uint32_t dst = node_shard_[nb[i]];
+    const std::uint32_t lane = static_cast<std::uint32_t>(
+        mirror_[begin + i] - shard_lane_begin_[dst]);
+    if (dst == src)
+      shards_[dst]->deposit_words(w, lane, scratch_[w].data(), need);
+    else
+      relay_append(src, dst, w, lane, scratch_[w].data(), need);
+  }
+  const std::int64_t fanout = static_cast<std::int64_t>(nb.size());
+  WorkerStats& slot = worker_stats_[w];
+  slot.messages += fanout;
+  slot.total_bits += bits * fanout;
+  slot.max_message_bits = std::max(slot.max_message_bits, bits);
+}
+
+int ShardedNetwork::relay_deposit(std::uint32_t src, std::uint32_t dst,
+                                  std::uint32_t lane, const Message& m,
+                                  NodeId sender) {
+  const std::size_t w = worker_slot();
+  int bits = 0;
+  const std::size_t need = encode_into_scratch(w, m, sender, &bits);
+  relay_append(src, dst, w, lane, scratch_[w].data(), need);
+  return bits;
+}
+
+void ShardedNetwork::relay_append(std::uint32_t src, std::uint32_t dst,
+                                  std::size_t worker, std::uint32_t lane,
+                                  const std::uint64_t* words,
+                                  std::size_t nwords) {
+  RelaySegment& seg = segment(src, dst, worker);
+  const std::size_t b = seg.words.size();
+  seg.words.insert(seg.words.end(), words, words + nwords);
+  seg.recs.push_back({lane, static_cast<std::uint32_t>(b),
+                      static_cast<std::uint32_t>(b + nwords)});
+}
+
+void ShardedNetwork::flip_buffers() {
+  // Merge the bridge into the destination members' out-arenas, then let
+  // every member run its own flip (consumed-lane clear, buffer swap,
+  // spill merge / lane regrow, timer carry) — so a bridged record is
+  // delivered, spilled, or regrown by exactly the machinery a local one
+  // uses. A cut lane's records all sit in one (src, worker) segment in
+  // send order, so the fixed (dst, src, worker) merge order preserves
+  // the sender-ordered inbox contract.
+  const std::size_t k = shards_.size();
+  for (std::size_t dst = 0; dst < k; ++dst) {
+    Network& member = *shards_[dst];
+    for (std::size_t src = 0; src < k; ++src) {
+      if (src == dst) continue;
+      for (std::size_t w = 0; w < workers_; ++w) {
+        RelaySegment& seg = segment(static_cast<std::uint32_t>(src),
+                                    static_cast<std::uint32_t>(dst), w);
+        if (seg.recs.empty()) continue;
+        relay_words_highwater_ =
+            std::max(relay_words_highwater_, seg.words.size());
+        relay_recs_highwater_ =
+            std::max(relay_recs_highwater_, seg.recs.size());
+        for (const RelayRec& r : seg.recs)
+          member.deposit_words(0, r.lane, seg.words.data() + r.begin,
+                               r.end - r.begin);
+        bridge_records_ += static_cast<std::int64_t>(seg.recs.size());
+        seg.words.clear();
+        seg.recs.clear();
+      }
+    }
+  }
+  for (auto& sh : shards_) {
+    sh->flip_buffers();
+    sh->round_ = round_ + 1;  // the caller (run_phase) advances next
+  }
+  active_dirty_ = true;
+}
+
+void ShardedNetwork::clear_all_lanes() {
+  for (auto& sh : shards_) {
+    sh->clear_all_lanes();
+    sh->round_ = round_;  // phase/reuse reset: lockstep from round 0
+  }
+  for (RelaySegment& seg : relay_) {
+    seg.words.clear();
+    seg.recs.clear();
+  }
+  active_list_.clear();
+  active_dirty_ = false;
+}
+
+void ShardedNetwork::reset_for_reuse() {
+  // The members' per-run scratch-shrink high-water marks reset with the
+  // facade's, exactly as a standalone Network's do (their stats slots
+  // are never written — every send accounts to the facade's).
+  for (auto& sh : shards_) {
+    sh->touched_highwater_ = 0;
+    sh->armed_highwater_ = 0;
+    sh->active_highwater_ = 0;
+  }
+  relay_words_highwater_ = 0;
+  relay_recs_highwater_ = 0;
+  bridge_records_ = 0;
+  Network::reset_for_reuse();
+}
+
+void ShardedNetwork::reseed_node_rngs() {
+  if (rng_streams_fresh_) return;
+  for (auto& sh : shards_) {
+    sh->rng_streams_fresh_ = false;  // the facade owns freshness tracking
+    sh->reseed_node_rngs();
+  }
+  rng_streams_fresh_ = true;
+}
+
+void ShardedNetwork::rebuild_active_set() {
+  // Shard blocks are ascending, and each member keeps its list in
+  // ascending node order, so concatenation in shard order reproduces the
+  // unsharded worklist exactly — same contents, same order.
+  active_dirty_ = false;
+  active_list_.clear();
+  for (auto& sh : shards_) {
+    if (sh->active_dirty_) sh->rebuild_active_set();
+    active_list_.insert(active_list_.end(), sh->active_list_.begin(),
+                        sh->active_list_.end());
+  }
+  active_highwater_ = std::max(active_highwater_, active_list_.size());
+}
+
+void ShardedNetwork::shrink_scratch() {
+  for (auto& sh : shards_) sh->shrink_scratch();
+  for (RelaySegment& seg : relay_) {
+    maybe_shrink(seg.words, relay_words_highwater_);
+    maybe_shrink(seg.recs, relay_recs_highwater_);
+  }
+  maybe_shrink(active_list_, active_highwater_);
+}
+
+std::unique_ptr<Network> make_network(const WeightedGraph& wg,
+                                      const CongestConfig& config) {
+  const NodeId n = wg.graph().num_nodes();
+  const int k = std::clamp(config.shards, 1,
+                           std::max<int>(1, static_cast<int>(n)));
+  if (k <= 1) return std::make_unique<Network>(wg, config);
+  CongestConfig cfg = config;
+  cfg.shards = k;
+  return std::make_unique<ShardedNetwork>(wg, cfg);
+}
+
+}  // namespace arbods::shard

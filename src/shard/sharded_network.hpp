@@ -1,0 +1,128 @@
+// ShardedNetwork: one CONGEST instance as K per-shard Networks behind
+// the ordinary Network driving surface.
+//
+// The facade derives from Network and overrides its virtual seams, so
+// ProtocolRunner, every Phase, the solver registry, and the scenario
+// batch runner drive a sharded instance completely unmodified. Each
+// shard member is a real Network built over a contiguous node block of
+// the ShardPlan: it owns the lane arenas for the in-arcs of its block,
+// that block's RNG streams (seeded by *global* node id), timer wheels,
+// and active-set state. The facade owns the worker pool and the global
+// out-arc -> lane mirror; per-node loops chunk over global ids exactly
+// as the unsharded simulator does, so each shard's block is processed by
+// a contiguous slice of the workers.
+//
+// Message routing:
+//   * intra-shard send: the facade resolves the receiver-side lane
+//     (global lane - shard lane base = the member's local lane) and
+//     deposits straight into the owning member's out-arena — the same
+//     single-writer-per-lane path as the unsharded simulator;
+//   * cut-edge send: the wire record is appended to the per-
+//     (src-shard, dst-shard) relay buffer (per-worker segments, so the
+//     send half-round stays lock-free). At the flip the facade merges
+//     every relay record into its destination member's lanes *before*
+//     flipping the members, so bridged records ride the members' spill /
+//     regrow machinery and are delivered next round exactly like local
+//     ones. A cut lane's records all come from its single remote writer
+//     through one relay segment, so sender order within the lane — and
+//     therefore the sender-ordered inbox scan — is preserved.
+//
+// Determinism contract: for every plan, shard count, and worker-pool
+// width, a run is bit-identical to the unsharded Network — same
+// MdsResults, same delivery traces, same RunStats including the
+// per-phase breakdown (the facade accounts every send in its own
+// per-worker slots; rounds advance in lockstep across shards). Verified
+// by tests/shard_test.cpp against every registry solver.
+//
+// This is the in-process half of the multi-process direction: the relay
+// buffers are exactly the byte streams a process boundary would carry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "shard/partition.hpp"
+
+namespace arbods::shard {
+
+class ShardedNetwork final : public Network {
+ public:
+  /// Partitions with make_shard_plan(graph, config.shards).
+  ShardedNetwork(const WeightedGraph& wg, CongestConfig config);
+  /// Runs over a caller-supplied plan (must cover [0, n)).
+  ShardedNetwork(const WeightedGraph& wg, CongestConfig config,
+                 ShardPlan plan);
+  ~ShardedNetwork() override;
+
+  const ShardPlan& plan() const { return plan_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Shard member s (diagnostics/tests; e.g. its arena_words()).
+  const Network& shard(int s) const { return *shards_[s]; }
+
+  /// Total wire records carried by the inter-shard bridge so far
+  /// (cumulative across phases until the next reset_for_reuse).
+  std::int64_t bridge_records() const { return bridge_records_; }
+
+  // --- Network seams ---
+  Rng& rng(NodeId v) override;
+  void send(NodeId from, NodeId to, const Message& m) override;
+  void broadcast(NodeId from, const Message& m) override;
+  InboxView inbox(NodeId v) const override;
+  void arm_at(NodeId v, std::int64_t round) override;
+  std::size_t arena_words() const override;
+  void reset_for_reuse() override;
+
+ private:
+  struct RelayRec {
+    std::uint32_t lane;   // destination member's local lane
+    std::uint32_t begin;  // word range in the segment's `words`
+    std::uint32_t end;
+  };
+  /// One (src-shard, dst-shard, worker) segment of the bridge: packed
+  /// wire records plus their destination lanes, in send order.
+  struct RelaySegment {
+    std::vector<std::uint64_t> words;
+    std::vector<RelayRec> recs;
+  };
+
+  void flip_buffers() override;
+  void clear_all_lanes() override;
+  void reseed_node_rngs() override;
+  void rebuild_active_set() override;
+  void shrink_scratch() override;
+
+  RelaySegment& segment(std::uint32_t src, std::uint32_t dst,
+                        std::size_t worker) {
+    return relay_[(static_cast<std::size_t>(src) * shards_.size() + dst) *
+                      workers_ +
+                  worker];
+  }
+  int relay_deposit(std::uint32_t src, std::uint32_t dst, std::uint32_t lane,
+                    const Message& m, NodeId sender);
+  void relay_append(std::uint32_t src, std::uint32_t dst, std::size_t worker,
+                    std::uint32_t lane, const std::uint64_t* words,
+                    std::size_t nwords);
+
+  ShardPlan plan_;
+  std::vector<std::unique_ptr<Network>> shards_;
+  /// Dense node -> shard map (the plan's shard_of is O(log K)).
+  std::vector<std::uint32_t> node_shard_;
+  /// Global arc offset of each shard's first lane; global lane -
+  /// shard_lane_begin_[shard] = the member's local lane.
+  std::vector<std::size_t> shard_lane_begin_;
+  std::size_t workers_ = 1;
+  std::vector<RelaySegment> relay_;
+  std::int64_t bridge_records_ = 0;
+  std::size_t relay_words_highwater_ = 0;
+  std::size_t relay_recs_highwater_ = 0;
+};
+
+/// The construction point the harness layers use: a plain Network when
+/// the (clamped) shard count is 1, a ShardedNetwork otherwise. Callers
+/// hold the result as Network& and never learn which they got.
+std::unique_ptr<Network> make_network(const WeightedGraph& wg,
+                                      const CongestConfig& config);
+
+}  // namespace arbods::shard

@@ -1,0 +1,381 @@
+// Sharded-simulator suite: the deterministic partitioner, and the
+// ShardedNetwork + inter-shard bridge against the unsharded Network.
+//
+// The load-bearing contract is *bit-identity*: for every shard count K,
+// every worker-pool width, and every registry solver, a sharded run must
+// reproduce the unsharded run exactly — MdsResult, per-node delivery
+// traces (sender-ordered inboxes), per-round active sets, and RunStats
+// including the per-phase breakdown. The shard-boundary regression block
+// drives cut-edge-heavy families (grid, ba3) at K in {1, 2, 7} per the
+// sharding plan's worst cases: K=1 (facade with no cut edges), K=2 (one
+// boundary), K=7 (odd count, unbalanced tail blocks).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_graphs.hpp"
+#include "gen/trees.hpp"
+#include "graph/weighted_graph.hpp"
+#include "harness/corpus.hpp"
+#include "harness/oracle.hpp"
+#include "harness/registry.hpp"
+#include "harness/scenario.hpp"
+#include "shard/partition.hpp"
+#include "shard/sharded_network.hpp"
+
+namespace arbods::shard {
+namespace {
+
+int test_thread_width() {
+  if (const char* env = std::getenv("ARBODS_TEST_THREADS")) {
+    const int w = std::atoi(env);
+    if (w >= 1) return w;
+  }
+  return 8;
+}
+
+// ------------------------------------------------------------ partitioner
+
+TEST(ShardPlanTest, ContiguousBlocksCoverEveryNode) {
+  Rng rng(7);
+  const Graph g = gen::barabasi_albert(500, 3, rng);
+  for (const int k : {1, 2, 3, 7, 16}) {
+    const ShardPlan plan = partition_contiguous(g, k);
+    ASSERT_EQ(plan.num_shards(), k);
+    EXPECT_EQ(plan.node_begin.front(), 0u);
+    EXPECT_EQ(plan.node_begin.back(), g.num_nodes());
+    for (int s = 0; s < k; ++s) {
+      EXPECT_LT(plan.shard_begin(s), plan.shard_end(s)) << "empty shard " << s;
+      for (NodeId v = plan.shard_begin(s); v < plan.shard_end(s); ++v) {
+        EXPECT_EQ(plan.shard_of(v), s);
+        EXPECT_EQ(plan.local_id(v), v - plan.shard_begin(s));
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, BalancesArcsAcrossShards) {
+  Rng rng(11);
+  const Graph g = gen::barabasi_albert(2000, 3, rng);
+  const int k = 4;
+  const ShardPlan plan = partition_contiguous(g, k);
+  std::vector<std::int64_t> arcs(k, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    arcs[plan.shard_of(v)] += g.degree(v);
+  const std::int64_t total = 2 * static_cast<std::int64_t>(g.num_edges());
+  for (int s = 0; s < k; ++s) {
+    EXPECT_GT(arcs[s], total / k / 2) << "shard " << s << " starved";
+    EXPECT_LT(arcs[s], total * 2 / k) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardPlanTest, ShardCountClampsToNodeCount) {
+  const Graph g = gen::grid(2, 2);
+  const ShardPlan plan = partition_contiguous(g, 64);
+  EXPECT_EQ(plan.num_shards(), 4);
+  const ShardPlan one = partition_contiguous(g, 1);
+  EXPECT_EQ(one.num_shards(), 1);
+  EXPECT_EQ(cut_arcs(g, one), 0);
+}
+
+TEST(ShardPlanTest, RefinementNeverIncreasesCutAndIsDeterministic) {
+  Rng rng(3);
+  const std::vector<Graph> graphs = [&] {
+    std::vector<Graph> gs;
+    gs.push_back(gen::grid(20, 20));
+    gs.push_back(gen::barabasi_albert(400, 3, rng));
+    gs.push_back(gen::random_tree_prufer(400, rng));
+    return gs;
+  }();
+  for (const Graph& g : graphs) {
+    for (const int k : {2, 3, 7}) {
+      const ShardPlan base = partition_contiguous(g, k);
+      const ShardPlan refined = refine_boundaries(g, base);
+      EXPECT_LE(cut_arcs(g, refined), cut_arcs(g, base));
+      EXPECT_EQ(refined, refine_boundaries(g, base)) << "nondeterministic";
+      EXPECT_EQ(make_shard_plan(g, k), make_shard_plan(g, k));
+    }
+  }
+}
+
+TEST(ShardPlanTest, RefinementFindsTheNarrowWaist) {
+  // Two dense cliques joined by a single edge, sized so the arc-balanced
+  // boundary lands inside a clique; the reducer must slide it to the
+  // 1-edge waist.
+  const NodeId half = 12;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < half; ++u)
+    for (NodeId v = u + 1; v < half; ++v) {
+      edges.push_back({u, v});
+      edges.push_back({static_cast<NodeId>(half + u),
+                       static_cast<NodeId>(half + v)});
+    }
+  edges.push_back({half - 1, half});
+  const Graph g = Graph::from_edges(2 * half, edges);
+  const ShardPlan refined = make_shard_plan(g, 2);
+  EXPECT_EQ(cut_arcs(g, refined), 2);  // the waist edge, both directions
+}
+
+// ------------------------------------------- facade construction surface
+
+TEST(MakeNetworkTest, ReturnsPlainNetworkForOneShardAndFacadeOtherwise) {
+  Rng rng(5);
+  const WeightedGraph wg =
+      WeightedGraph::uniform(gen::barabasi_albert(100, 3, rng));
+  CongestConfig cfg;
+  cfg.shards = 1;
+  auto plain = make_network(wg, cfg);
+  EXPECT_EQ(dynamic_cast<ShardedNetwork*>(plain.get()), nullptr);
+  cfg.shards = 4;
+  auto sharded = make_network(wg, cfg);
+  auto* facade = dynamic_cast<ShardedNetwork*>(sharded.get());
+  ASSERT_NE(facade, nullptr);
+  EXPECT_EQ(facade->num_shards(), 4);
+  // Shard arenas partition the unsharded arena layout exactly.
+  EXPECT_EQ(facade->arena_words(), plain->arena_words());
+  cfg.shards = 1'000'000;  // clamps to n
+  auto clamped = make_network(wg, cfg);
+  EXPECT_EQ(dynamic_cast<ShardedNetwork*>(clamped.get())->num_shards(), 100);
+}
+
+// ------------------------------------------------- scripted trace engine
+//
+// Every node broadcasts a tagged quantized random real each round and
+// coin-flips a directed probe to a random neighbor — the same script the
+// congest differential test uses — while the driver also snapshots the
+// active set each round. Traces pin delivery content *and* order.
+
+struct Rec {
+  std::int64_t round;
+  NodeId sender;
+  int tag;
+  std::int64_t level;
+  double real;
+  NodeId id;
+
+  friend bool operator==(const Rec&, const Rec&) = default;
+};
+
+class ScriptedTraffic : public DistributedAlgorithm {
+ public:
+  explicit ScriptedTraffic(std::int64_t send_rounds)
+      : send_rounds_(send_rounds) {}
+
+  void initialize(Network& net) override {
+    trace_.assign(net.num_nodes(), {});
+    active_trace_.clear();
+    net.for_nodes([&](NodeId v) { emit(net, v); });
+  }
+
+  void process_round(Network& net) override {
+    const auto active = net.active_nodes();
+    active_trace_.emplace_back(active.begin(), active.end());
+    net.for_nodes([&](NodeId v) {
+      for (const MessageView m : net.inbox(v)) {
+        Rec r{net.current_round(), m.sender(), m.tag(), 0, -1.0, kInvalidNode};
+        if (r.tag == 1) {
+          r.level = m.level_at(1);
+          r.real = m.real_at(2);
+        } else {
+          r.id = m.id_at(1);
+        }
+        trace_[v].push_back(r);
+      }
+      if (net.current_round() < send_rounds_) emit(net, v);
+    });
+  }
+
+  bool finished(const Network& net) const override {
+    return net.current_round() >= send_rounds_;
+  }
+
+  const std::vector<std::vector<Rec>>& trace() const { return trace_; }
+  const std::vector<std::vector<NodeId>>& active_trace() const {
+    return active_trace_;
+  }
+
+ private:
+  void emit(Network& net, NodeId v) {
+    Rng& rng = net.rng(v);
+    const double x = rng.next_double();
+    net.broadcast(v, Message::tagged(1)
+                         .add_level(net.current_round() & 7)
+                         .add_real(x));
+    const auto nb = net.neighbors(v);
+    if (!nb.empty() && rng.next_bernoulli(0.5)) {
+      const NodeId to = nb[rng.next_below(nb.size())];
+      net.send(v, to, Message::tagged(2).add_id(v));
+    }
+  }
+
+  std::int64_t send_rounds_;
+  std::vector<std::vector<Rec>> trace_;
+  std::vector<std::vector<NodeId>> active_trace_;
+};
+
+// Runs the script on the given Network and returns (stats, traces).
+struct ScriptRun {
+  RunStats stats;
+  std::vector<std::vector<Rec>> trace;
+  std::vector<std::vector<NodeId>> active;
+};
+
+ScriptRun run_script(Network& net, std::int64_t send_rounds) {
+  ScriptedTraffic algo(send_rounds);
+  ScriptRun out;
+  out.stats = net.run(algo);
+  out.trace = algo.trace();
+  out.active = algo.active_trace();
+  return out;
+}
+
+// The shard-boundary regression block: cut-edge-heavy families at
+// K in {1, 2, 7} must bit-match K=1 and the pre-shard Network.
+TEST(ShardBoundaryTest, TracesActiveSetsAndStatsMatchUnshardedOnCutHeavyGraphs) {
+  const int wide = test_thread_width();
+  Rng rng(17);
+  std::vector<std::pair<const char*, Graph>> graphs;
+  graphs.emplace_back("grid", gen::grid(16, 16));
+  graphs.emplace_back("ba3", gen::barabasi_albert(256, 3, rng));
+  constexpr std::int64_t kSendRounds = 10;
+
+  for (auto& [name, g] : graphs) {
+    const WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+    CongestConfig cfg;
+    cfg.seed = 0xbeef0042ULL;
+    cfg.threads = 1;
+    Network reference(wg, cfg);
+    const ScriptRun expected = run_script(reference, kSendRounds);
+
+    for (const int k : {1, 2, 7}) {
+      for (const int threads : {1, wide}) {
+        CongestConfig scfg = cfg;
+        scfg.threads = threads;
+        scfg.shards = k;
+        ShardedNetwork sharded(wg, scfg);
+        const ScriptRun got = run_script(sharded, kSendRounds);
+        EXPECT_EQ(got.stats, expected.stats)
+            << name << " K=" << k << " threads=" << threads;
+        EXPECT_EQ(got.trace, expected.trace)
+            << name << " K=" << k << " threads=" << threads;
+        EXPECT_EQ(got.active, expected.active)
+            << name << " K=" << k << " threads=" << threads;
+        if (k > 1) {
+          EXPECT_GT(sharded.bridge_records(), 0)
+              << name << " K=" << k << ": bridge never exercised";
+        } else {
+          EXPECT_EQ(sharded.bridge_records(), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardBoundaryTest, BridgedLanesSpillAndRegrowLikeLocalOnes) {
+  // A lane region of 2 words cannot hold even one record, so every
+  // deposit — including every bridge merge — takes the spill/regrow
+  // path; the sharded run must still bit-match the unsharded one.
+  Rng rng(23);
+  const WeightedGraph wg =
+      WeightedGraph::uniform(gen::barabasi_albert(120, 3, rng));
+  CongestConfig cfg;
+  cfg.seed = 99;
+  cfg.lane_capacity_words_hint = 2;
+  Network reference(wg, cfg);
+  const ScriptRun expected = run_script(reference, 8);
+
+  CongestConfig scfg = cfg;
+  scfg.shards = 3;
+  ShardedNetwork sharded(wg, scfg);
+  const ScriptRun got = run_script(sharded, 8);
+  EXPECT_EQ(got.stats, expected.stats);
+  EXPECT_EQ(got.trace, expected.trace);
+  EXPECT_GT(sharded.bridge_records(), 0);
+}
+
+TEST(ShardBoundaryTest, ReuseAcrossRunsStaysBitIdentical) {
+  Rng rng(31);
+  const WeightedGraph wg =
+      WeightedGraph::uniform(gen::barabasi_albert(200, 3, rng));
+  CongestConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  ShardedNetwork sharded(wg, cfg);
+  const ScriptRun first = run_script(sharded, 6);
+  const std::int64_t first_bridge = sharded.bridge_records();
+  EXPECT_GT(first_bridge, 0);
+  const ScriptRun again = run_script(sharded, 6);
+  EXPECT_EQ(first.stats, again.stats);
+  EXPECT_EQ(first.trace, again.trace);
+  EXPECT_EQ(first.active, again.active);
+  // run() resets, so the bridge counter reports one run's traffic.
+  EXPECT_EQ(sharded.bridge_records(), first_bridge);
+}
+
+// --------------------------------------------- registry solver bit-identity
+
+TEST(ShardedSolversTest, EverySolverBitMatchesUnshardedOnTheSmallCorpus) {
+  const int wide = test_thread_width();
+  const auto corpus = harness::small_corpus(7);
+  ASSERT_GE(corpus.size(), 10u);
+  for (const auto& inst : corpus) {
+    for (const harness::SolverInfo& info : harness::all_solvers()) {
+      if (!harness::solver_applicable(info, inst)) continue;
+      harness::SolverParams params = harness::params_for(info, inst);
+      CongestConfig cfg;
+      cfg.seed = 0xdead0002ULL;
+      params.threads = 1;
+      const MdsResult reference =
+          harness::run_solver(info.name, inst.wg, params, cfg);
+      ASSERT_FALSE(reference.stats.phases.empty());
+
+      for (const int k : {2, 4}) {
+        for (const int threads : {1, wide}) {
+          harness::SolverParams sparams = params;
+          sparams.threads = threads;
+          sparams.shards = k;
+          const MdsResult sharded =
+              harness::run_solver(info.name, inst.wg, sparams, cfg);
+          // One comparison covers the result, the totals, and the
+          // per-phase breakdown (RunStats includes phases).
+          EXPECT_EQ(sharded, reference)
+              << info.name << " on " << inst.name << " K=" << k
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- scenario integration
+
+TEST(ShardedScenarioTest, ShardSweepIsDeterministicAndStampsRows) {
+  const auto corpus = harness::small_corpus(13);
+  harness::ScenarioSpec spec;
+  spec.solvers.push_back({"det", std::nullopt, "det"});
+  spec.solvers.push_back({"greedy-threshold", std::nullopt, "gt"});
+  spec.thread_widths = {1, 2};
+  spec.shard_counts = {1, 2, 4};
+  const std::vector<const harness::CorpusInstance*> instances = {
+      &corpus.front()};
+  const auto rows = harness::run_scenario(spec, instances);
+  ASSERT_EQ(rows.size(), 2u * 2u * 3u);
+  EXPECT_TRUE(harness::all_identical(rows));
+  for (const auto& row : rows)
+    EXPECT_TRUE(row.shards == 1 || row.shards == 2 || row.shards == 4);
+
+  std::ostringstream os;
+  harness::write_scenario_json(os, rows);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\": 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arbods::shard

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Compare a fresh exp12 scenario JSON against the checked-in baseline.
 
-Usage: compare_bench.py BASELINE.json FRESH.json [--threshold 0.25]
+Usage: compare_bench.py BASELINE.json FRESH.json [--tolerance 0.25]
                         [--uniform-slack 2.0]
 
-Rows are matched on (instance, solver, threads). For every matched row:
+Rows are matched on (instance, solver, threads, shards); rows from
+schema v1 files (no `shards` field) match as shards=1, so pre-shard
+baselines keep working. For every matched row:
   * counter fields (n, m, rounds, messages, total_bits, set_size, weight)
     must be exactly equal — the simulator promises bit-identical results,
-    so any drift is a correctness regression, not noise;
+    so any drift is a correctness regression, not noise. A mismatch
+    prints a per-field diff table (baseline vs fresh vs delta) so the
+    failure is diagnosable from the CI log alone;
   * the `identical` determinism verdict must be true in the fresh run.
 
 Timing is judged robustly against runner-speed differences (the baseline
@@ -29,16 +33,32 @@ import sys
 
 
 def key(row):
-    return (row["instance"], row["solver"], row["threads"])
+    return (row["instance"], row["solver"], row["threads"],
+            row.get("shards", 1))
+
+
+def print_counter_diff(k, base, new, counters):
+    """One aligned row per counter so a mismatch reads as a table."""
+    print(f"  counter diff for {k}:")
+    print(f"    {'field':<12} {'baseline':>16} {'fresh':>16} {'delta':>12}")
+    for field in counters:
+        b, f = base.get(field), new.get(field)
+        delta = "" if not (isinstance(b, (int, float)) and
+                           isinstance(f, (int, float))) else f"{f - b:+}"
+        marker = "" if b == f else "   <-- MISMATCH"
+        print(f"    {field:<12} {b!r:>16} {f!r:>16} {delta:>12}{marker}")
 
 
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
     parser.add_argument("fresh")
-    parser.add_argument("--threshold", type=float, default=0.25,
+    parser.add_argument("--tolerance", "--threshold", type=float,
+                        dest="tolerance", default=0.25,
                         help="allowed fractional per-row regression after "
-                             "machine-speed normalization")
+                             "machine-speed normalization (default keeps "
+                             "the 25%% gate; --threshold is a deprecated "
+                             "alias)")
     parser.add_argument("--uniform-slack", type=float, default=2.0,
                         help="allowed uniform (machine-factor) slowdown")
     args = parser.parse_args()
@@ -59,11 +79,12 @@ def main():
     ratios = {}
     for k, base in sorted(baseline.items()):
         new = fresh[k]
-        for field in counters:
-            if base[field] != new[field]:
-                print(f"FAIL {k}: {field} changed "
-                      f"{base[field]} -> {new[field]} (must match exactly)")
-                failures += 1
+        mismatched = [f for f in counters if base[f] != new[f]]
+        if mismatched:
+            print(f"FAIL {k}: counters changed (must match exactly): "
+                  f"{', '.join(mismatched)}")
+            print_counter_diff(k, base, new, counters)
+            failures += len(mismatched)
         if not new.get("identical", False):
             print(f"FAIL {k}: determinism verdict is false")
             failures += 1
@@ -81,8 +102,8 @@ def main():
     for k, ratio in sorted(ratios.items()):
         normalized = ratio / machine
         verdict = "ok"
-        if normalized > 1.0 + args.threshold:
-            verdict = f"REGRESSION (> +{args.threshold:.0%} normalized)"
+        if normalized > 1.0 + args.tolerance:
+            verdict = f"REGRESSION (> +{args.tolerance:.0%} normalized)"
             failures += 1
         print(f"{k}: {baseline[k]['seconds']:.6f}s -> "
               f"{fresh[k]['seconds']:.6f}s "
