@@ -10,6 +10,7 @@
 #include "gen/random_graphs.hpp"
 #include "gen/trees.hpp"
 #include "gen/weights.hpp"
+#include "shard/sharded_network.hpp"
 
 namespace arbods {
 namespace {
@@ -133,6 +134,54 @@ void BM_NetworkFloodActiveSet(benchmark::State& state) {
                           static_cast<std::int64_t>(wg.graph().num_edges()) * 2);
 }
 BENCHMARK(BM_NetworkFloodActiveSet)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+// Flood rounds through the sharded facade: the flip-time bridge merge
+// (one task per destination shard on the worker pool) is the piece under
+// measurement — shards = 1 is the plain-Network baseline, and the
+// (shards, threads) grid shows how much of the old serial-merge overhead
+// the parallel flip recovers.
+void BM_BridgeMerge(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  Rng rng(8);
+  Graph g = gen::k_tree_union(n, 3, rng);
+  WeightedGraph wg = WeightedGraph::uniform(std::move(g));
+  CongestConfig cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+
+  class Flood final : public DistributedAlgorithm {
+   public:
+    void initialize(Network& net) override {
+      net.for_nodes([&](NodeId v) {
+        net.broadcast(v, Message::tagged(0).add_real(0.5));
+      });
+    }
+    void process_round(Network& net) override {
+      net.for_nodes([&](NodeId v) {
+        double sum = 0;
+        for (const MessageView m : net.inbox(v)) sum += m.real_at(1);
+        benchmark::DoNotOptimize(sum);
+        net.broadcast(v, Message::tagged(0).add_real(0.5));
+      });
+    }
+    bool finished(const Network&) const override { return false; }
+  };
+
+  auto net = shard::make_network(wg, cfg);
+  Flood algo;
+  net->run(algo, 2);  // warm-up: arenas, relay segments, spill growth
+  for (auto _ : state) {
+    net->run(algo, 10);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 *
+                          static_cast<std::int64_t>(wg.graph().num_edges()) * 2);
+}
+BENCHMARK(BM_BridgeMerge)
+    ->Args({1 << 15, 1, 8})
+    ->Args({1 << 15, 4, 8})
+    ->Args({1 << 15, 8, 8});
 
 void BM_SolveDeterministic(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));

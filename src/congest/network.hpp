@@ -397,6 +397,22 @@ class Network {
   struct FacadeInit {};
   Network(const WeightedGraph& wg, CongestConfig config, FacadeInit);
 
+  /// The pool dispatch behind for_nodes/for_active_nodes, exposed to
+  /// derived simulators for flip-time work: partitions [0, count) into
+  /// contiguous static chunks (one per worker, same assignment at every
+  /// call), runs chunk_fn(begin, end) on each worker with its slot
+  /// installed (worker_slot()/worker_index() resolve to the executing
+  /// worker inside chunk_fn), and returns after all chunks complete.
+  /// Serial (inline, slot 0) when the instance owns no pool. Not
+  /// reentrant — must be called from the driver thread between parallel
+  /// sections, which is exactly where a flip runs.
+  void run_index_chunks(std::size_t count,
+                        FunctionRef<void(std::size_t, std::size_t)> chunk_fn);
+
+  /// Worker slot the calling thread accounts to: the executing worker's
+  /// index inside a run_index_chunks section, 0 outside one.
+  std::size_t worker_slot() const;
+
  private:
   friend class shard::ShardedNetwork;
 
@@ -467,7 +483,6 @@ class Network {
   /// by broadcast, tight-lane deposits, and the inter-shard bridge.
   std::size_t encode_into_scratch(std::size_t w, const Message& m,
                                   NodeId sender, int* bits);
-  std::size_t worker_slot() const;
   void check_cap(int bits) const;
   void account_bits(int bits);
   /// Encodes m into the lane (or spill), cap-checking before committing;
@@ -477,8 +492,6 @@ class Network {
                      const std::uint64_t* words, std::size_t nwords);
   bool lane_spilled(std::size_t worker, EdgeSlot lane) const;
   void reduce_stats();
-  void run_index_chunks(std::size_t count,
-                        FunctionRef<void(std::size_t, std::size_t)> chunk_fn);
 
   const WeightedGraph* wg_;
   CongestConfig config_;

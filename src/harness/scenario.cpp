@@ -147,6 +147,12 @@ std::vector<ScenarioRow> run_scenario(
           row.seconds = seconds;
           row.result = std::move(res);
           row.identical = identical;
+          // Bridge counters reset at each run() start, so this reads the
+          // final repeat's per-boundary volume — deterministic, hence
+          // identical across repeats anyway.
+          if (const auto* sharded =
+                  dynamic_cast<const shard::ShardedNetwork*>(&net))
+            row.bridged_bytes = sharded->boundary_bridged_bytes();
           rows.push_back(std::move(row));
         }
         }
@@ -190,7 +196,13 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
        << ", \"total_bits\": " << row.result.stats.total_bits
        << ", \"set_size\": " << row.result.dominating_set.size()
        << ", \"weight\": " << row.result.weight
-       << ", \"identical\": " << (row.identical ? "true" : "false") << "}";
+       << ", \"identical\": " << (row.identical ? "true" : "false")
+       << ", \"bridged_bytes\": [";
+    for (std::size_t i = 0; i < row.bridged_bytes.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << row.bridged_bytes[i];
+    }
+    os << "]}";
   }
   os << "\n]\n";
 }

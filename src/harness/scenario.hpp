@@ -83,6 +83,10 @@ struct ScenarioRow {
   double seconds = 0.0;    // median over the timed repeats
   MdsResult result;
   bool identical = true;   // determinism verdict for this cell
+  /// Bytes that crossed each of the shard plan's K-1 boundaries during
+  /// the cell's final run (ShardedNetwork::boundary_bridged_bytes).
+  /// Empty when shards == 1 — a plain Network has no bridge.
+  std::vector<std::int64_t> bridged_bytes;
 };
 
 /// Pools Networks keyed by (graph, config): every run that shares the
@@ -121,12 +125,16 @@ bool all_identical(std::span<const ScenarioRow> rows);
 
 /// The exp12 JSON row schema version emitted by write_scenario_json.
 /// v2 added `schema_version` and the per-row `shards` count, so
-/// artifacts from different shard configs are distinguishable.
-inline constexpr int kScenarioJsonSchemaVersion = 2;
+/// artifacts from different shard configs are distinguishable. v3 added
+/// `bridged_bytes`, the per-boundary inter-shard byte volume of the
+/// cell's final run (an empty array for unsharded rows) — the measured
+/// quantity traffic-aware shard placement optimizes.
+inline constexpr int kScenarioJsonSchemaVersion = 3;
 
 /// One JSON object per row, as a JSON array (the exp12 schema):
 /// schema_version/instance/family/n/m/solver/threads/shards/seconds/
-/// repeats/rounds/messages/total_bits/set_size/weight/identical.
+/// repeats/rounds/messages/total_bits/set_size/weight/identical/
+/// bridged_bytes.
 void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows);
 
 }  // namespace arbods::harness

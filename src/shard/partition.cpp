@@ -28,6 +28,29 @@ std::int64_t cut_arcs(const Graph& g, const ShardPlan& plan) {
   return cut;
 }
 
+std::int64_t cut_volume(const Graph& g, const ShardPlan& plan,
+                        std::span<const std::uint64_t> in_arc_volume) {
+  const NodeId n = g.num_nodes();
+  ARBODS_CHECK_MSG(in_arc_volume.empty() ||
+                       in_arc_volume.size() == 2 * g.num_edges(),
+                   "arc volume profile covers " << in_arc_volume.size()
+                                                << " arcs, graph has "
+                                                << 2 * g.num_edges());
+  std::int64_t cost = 0;
+  std::size_t l = 0;  // receiver-side CSR arc index: v's range, sender order
+  for (NodeId v = 0; v < n; ++v) {
+    const int s = plan.shard_of(v);
+    for (const NodeId u : g.neighbors(v)) {
+      if (plan.shard_of(u) != s)
+        cost += 1 + (in_arc_volume.empty()
+                         ? 0
+                         : static_cast<std::int64_t>(in_arc_volume[l]));
+      ++l;
+    }
+  }
+  return cost;
+}
+
 namespace {
 
 // Per-node balance weight: in-arcs + 1, so isolated nodes still spread
@@ -68,19 +91,40 @@ ShardPlan partition_contiguous(const Graph& g, int num_shards) {
 
 ShardPlan refine_boundaries(const Graph& g, ShardPlan plan,
                             double balance_slack) {
+  return refine_boundaries(g, std::move(plan), {}, balance_slack);
+}
+
+ShardPlan refine_boundaries(const Graph& g, ShardPlan plan,
+                            std::span<const std::uint64_t> in_arc_volume,
+                            double balance_slack) {
   const NodeId n = g.num_nodes();
   const int k = plan.num_shards();
   if (k <= 1 || n == 0) return plan;
+  ARBODS_CHECK_MSG(in_arc_volume.empty() ||
+                       in_arc_volume.size() == 2 * g.num_edges(),
+                   "arc volume profile covers " << in_arc_volume.size()
+                                                << " arcs, graph has "
+                                                << 2 * g.num_edges());
 
-  // crossings[b] = edges (u < v) with u < b <= v, i.e. the edges a
-  // boundary placed at position b cuts. One difference-array sweep.
+  // crossings[b] = total weight of the directed arcs (u, v) with
+  // min < b <= max, i.e. what the bridge pays for a boundary placed at
+  // position b. Each directed arc contributes its measured volume + 1
+  // (both directions of an edge carry independent traffic); without a
+  // profile every arc weighs 1, a constant multiple of the old per-edge
+  // count, so the unweighted sweep's argmin and tie-breaks are preserved
+  // exactly. One difference-array sweep either way.
   std::vector<std::int64_t> crossings(static_cast<std::size_t>(n) + 1, 0);
-  for (NodeId u = 0; u < n; ++u)
-    for (const NodeId v : g.neighbors(u))
-      if (v > u) {
-        crossings[u + 1] += 1;
-        crossings[v + 1] -= 1;
-      }
+  std::size_t l = 0;  // receiver-side CSR arc index
+  for (NodeId v = 0; v < n; ++v)
+    for (const NodeId u : g.neighbors(v)) {
+      const std::int64_t w =
+          1 + (in_arc_volume.empty()
+                   ? 0
+                   : static_cast<std::int64_t>(in_arc_volume[l]));
+      crossings[std::min(u, v) + 1] += w;
+      crossings[std::max(u, v) + 1] -= w;
+      ++l;
+    }
   for (std::size_t b = 1; b < crossings.size(); ++b)
     crossings[b] += crossings[b - 1];
 
@@ -115,9 +159,10 @@ ShardPlan refine_boundaries(const Graph& g, ShardPlan plan,
     plan.node_begin[s] = best;
   }
   // Each move minimizes its own boundary's crossings, but the *union* of
-  // cut edges over all boundaries is what the bridge pays; guard against
-  // the rare case where per-boundary greed grows the union.
-  if (cut_arcs(g, plan) > cut_arcs(g, input)) return input;
+  // cut traffic over all boundaries is what the bridge pays; guard
+  // against the rare case where per-boundary greed grows the union.
+  if (cut_volume(g, plan, in_arc_volume) > cut_volume(g, input, in_arc_volume))
+    return input;
   return plan;
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -54,6 +55,16 @@ struct ShardPlan {
 /// worst-case bridge record count.
 std::int64_t cut_arcs(const Graph& g, const ShardPlan& plan);
 
+/// Measured cost of the cut: sum over directed cut arcs of
+/// `in_arc_volume[l] + 1`, where l is the receiver-side CSR arc index
+/// (arc (u -> v) sits in v's contiguous in-arc range at u's neighbor
+/// rank — the same indexing ShardedNetwork's traffic profile uses). The
+/// +1 keeps zero-traffic arcs ordered by raw cut count, so an empty or
+/// all-zero volume reduces exactly to cut_arcs. `in_arc_volume` must be
+/// empty or cover all 2m arcs.
+std::int64_t cut_volume(const Graph& g, const ShardPlan& plan,
+                        std::span<const std::uint64_t> in_arc_volume);
+
 /// Contiguous blocks balanced by arc count (node count for arc-free
 /// graphs). `num_shards` is clamped to [1, max(1, n)].
 ShardPlan partition_contiguous(const Graph& g, int num_shards);
@@ -65,6 +76,19 @@ ShardPlan partition_contiguous(const Graph& g, int num_shards);
 /// improvements the smallest position wins), so the result is
 /// deterministic and never worse than the input plan.
 ShardPlan refine_boundaries(const Graph& g, ShardPlan plan,
+                            double balance_slack = 0.2);
+
+/// Traffic-aware reducer: identical sweep, but every directed arc is
+/// weighted by its *measured* volume (`in_arc_volume[l] + 1`, receiver-
+/// side CSR indexing as in cut_volume) instead of counting 1 — so the
+/// boundaries move to the positions the bridge actually pays least for,
+/// per the run's own traffic, not the static structure. Empty volume =
+/// the unweighted reducer, bit-for-bit (weights collapse to a constant
+/// per arc, preserving every comparison and tie-break). Guarded like the
+/// unweighted sweep: if per-boundary greed grows the measured union cut
+/// (cut_volume), the input plan is returned unchanged.
+ShardPlan refine_boundaries(const Graph& g, ShardPlan plan,
+                            std::span<const std::uint64_t> in_arc_volume,
                             double balance_slack = 0.2);
 
 /// The default pipeline: partition_contiguous, then refine_boundaries

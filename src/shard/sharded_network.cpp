@@ -16,17 +16,23 @@ ShardedNetwork::ShardedNetwork(const WeightedGraph& wg, CongestConfig config)
 ShardedNetwork::ShardedNetwork(const WeightedGraph& wg, CongestConfig config,
                                ShardPlan plan)
     : Network(wg, config, FacadeInit{}), plan_(std::move(plan)) {
-  const NodeId n = wg.graph().num_nodes();
+  workers_ = worker_stats_.size();
+  bridge_slots_.assign(workers_, BridgeSlot{});
+  build_members();
+}
+
+void ShardedNetwork::build_members() {
+  const NodeId n = wg_->graph().num_nodes();
   ARBODS_CHECK_MSG(!plan_.node_begin.empty() && plan_.node_begin.front() == 0 &&
                        plan_.node_begin.back() == n &&
                        std::is_sorted(plan_.node_begin.begin(),
                                       plan_.node_begin.end()),
                    "shard plan does not cover [0, " << n << ")");
   const std::size_t k = static_cast<std::size_t>(plan_.num_shards());
-  workers_ = worker_stats_.size();
 
-  node_shard_.resize(n);
-  shard_lane_begin_.resize(k + 1);
+  shards_.clear();
+  node_shard_.assign(n, 0);
+  shard_lane_begin_.assign(k + 1, 0);
   shards_.reserve(k);
   for (std::size_t s = 0; s < k; ++s) {
     const NodeId begin = plan_.shard_begin(static_cast<int>(s));
@@ -35,10 +41,26 @@ ShardedNetwork::ShardedNetwork(const WeightedGraph& wg, CongestConfig config,
       node_shard_[v] = static_cast<std::uint32_t>(s);
     shard_lane_begin_[s] = offsets_[begin];
     shards_.emplace_back(new Network(
-        wg, config, SliceInit{begin, end, static_cast<int>(workers_)}));
+        *wg_, config_, SliceInit{begin, end, static_cast<int>(workers_)}));
   }
   shard_lane_begin_[k] = offsets_[n];
-  relay_.resize(k * k * workers_);
+  relay_.assign(k * k * workers_, RelaySegment{});
+  pair_bridged_words_.assign(k * k, 0);
+  bridge_records_ = 0;
+}
+
+void ShardedNetwork::adopt_plan(ShardPlan plan) {
+  plan_ = std::move(plan);
+  // Fresh members start in the fresh-construction observable state
+  // (empty lanes/timers, image-fresh RNG streams), so the facade does
+  // too: run()/run_phase() pick up from here exactly as after
+  // reset_for_reuse. The traffic profile survives — per-arc volume is a
+  // property of the instance's traffic, not of any plan — so repeated
+  // profile -> adopt cycles keep refining from live measurements.
+  ShardedNetwork::build_members();
+  active_list_.clear();
+  active_dirty_ = false;
+  rng_streams_fresh_ = true;
 }
 
 ShardedNetwork::~ShardedNetwork() = default;
@@ -64,17 +86,43 @@ std::size_t ShardedNetwork::arena_words() const {
   return words;
 }
 
+void ShardedNetwork::enable_traffic_profile() {
+  lane_traffic_.assign(mirror_.size(), 0);
+}
+
+ShardPlan ShardedNetwork::measured_plan(double balance_slack) const {
+  return refine_boundaries(graph(), plan_, lane_traffic_, balance_slack);
+}
+
+std::vector<std::int64_t> ShardedNetwork::boundary_bridged_bytes() const {
+  const int k = num_shards();
+  std::vector<std::int64_t> out(k > 0 ? static_cast<std::size_t>(k - 1) : 0,
+                                0);
+  for (int s = 0; s < k; ++s) {
+    for (int d = 0; d < k; ++d) {
+      const std::int64_t bytes = 8 * bridged_words(s, d);
+      if (bytes == 0) continue;
+      // A record from shard s to shard d crosses every boundary between
+      // them: b in (min, max].
+      for (int b = std::min(s, d) + 1; b <= std::max(s, d); ++b)
+        out[static_cast<std::size_t>(b - 1)] += bytes;
+    }
+  }
+  return out;
+}
+
 void ShardedNetwork::send(NodeId from, NodeId to, const Message& m) {
   const std::size_t arc = resolve_arc(from, to);
   const std::uint32_t dst = node_shard_[to];
   const std::uint32_t src = node_shard_[from];
+  const std::uint32_t glane = mirror_[arc];
   const std::uint32_t lane =
-      static_cast<std::uint32_t>(mirror_[arc] - shard_lane_begin_[dst]);
-  if (src == dst) {
-    account_bits(shards_[dst]->deposit_encoded(lane, m, from));
-  } else {
-    account_bits(relay_deposit(src, dst, lane, m, from));
-  }
+      static_cast<std::uint32_t>(glane - shard_lane_begin_[dst]);
+  const int bits = src == dst ? shards_[dst]->deposit_encoded(lane, m, from)
+                              : relay_deposit(src, dst, lane, m, from);
+  account_bits(bits);
+  if (!lane_traffic_.empty())
+    lane_traffic_[glane] += static_cast<std::uint64_t>(bits);
 }
 
 void ShardedNetwork::broadcast(NodeId from, const Message& m) {
@@ -89,14 +137,17 @@ void ShardedNetwork::broadcast(NodeId from, const Message& m) {
   const std::size_t need = encode_into_scratch(w, m, from, &bits);
   const std::size_t begin = offsets_[from];
   const std::uint32_t src = node_shard_[from];
+  const bool profile = !lane_traffic_.empty();
   for (std::size_t i = 0; i < nb.size(); ++i) {
+    const std::uint32_t glane = mirror_[begin + i];
     const std::uint32_t dst = node_shard_[nb[i]];
-    const std::uint32_t lane = static_cast<std::uint32_t>(
-        mirror_[begin + i] - shard_lane_begin_[dst]);
+    const std::uint32_t lane =
+        static_cast<std::uint32_t>(glane - shard_lane_begin_[dst]);
     if (dst == src)
       shards_[dst]->deposit_words(w, lane, scratch_[w].data(), need);
     else
       relay_append(src, dst, w, lane, scratch_[w].data(), need);
+    if (profile) lane_traffic_[glane] += static_cast<std::uint64_t>(bits);
   }
   const std::int64_t fanout = static_cast<std::int64_t>(nb.size());
   WorkerStats& slot = worker_stats_[w];
@@ -131,36 +182,67 @@ void ShardedNetwork::flip_buffers() {
   // every member run its own flip (consumed-lane clear, buffer swap,
   // spill merge / lane regrow, timer carry) — so a bridged record is
   // delivered, spilled, or regrown by exactly the machinery a local one
-  // uses. A cut lane's records all sit in one (src, worker) segment in
-  // send order, so the fixed (dst, src, worker) merge order preserves
-  // the sender-ordered inbox contract.
+  // uses. Destination members are independent at this point, so the
+  // whole per-destination pipeline (merge + member flip) is dispatched
+  // as one task per destination shard on the facade's worker pool; each
+  // task drains its (src, worker) segments in that fixed order, so a cut
+  // lane — whose records all sit in one segment in send order — keeps
+  // the sender-ordered inbox contract at every pool width. Deposits go
+  // through the executing worker's own slot (touched lists, spill
+  // buffers), and the bridge tallies land in per-worker padded slots or
+  // per-destination cells, folded serially below — nothing races.
   const std::size_t k = shards_.size();
-  for (std::size_t dst = 0; dst < k; ++dst) {
-    Network& member = *shards_[dst];
-    for (std::size_t src = 0; src < k; ++src) {
-      if (src == dst) continue;
-      for (std::size_t w = 0; w < workers_; ++w) {
-        RelaySegment& seg = segment(static_cast<std::uint32_t>(src),
-                                    static_cast<std::uint32_t>(dst), w);
-        if (seg.recs.empty()) continue;
-        relay_words_highwater_ =
-            std::max(relay_words_highwater_, seg.words.size());
-        relay_recs_highwater_ =
-            std::max(relay_recs_highwater_, seg.recs.size());
-        for (const RelayRec& r : seg.recs)
-          member.deposit_words(0, r.lane, seg.words.data() + r.begin,
-                               r.end - r.begin);
-        bridge_records_ += static_cast<std::int64_t>(seg.recs.size());
-        seg.words.clear();
-        seg.recs.clear();
+  run_index_chunks(k, [&](std::size_t begin, std::size_t end) {
+    const std::size_t wslot = worker_slot();
+    std::int64_t records = 0;
+    for (std::size_t dst = begin; dst < end; ++dst) {
+      Network& member = *shards_[dst];
+      for (std::size_t src = 0; src < k; ++src) {
+        if (src == dst) continue;
+        for (std::size_t w = 0; w < workers_; ++w) {
+          RelaySegment& seg = segment(static_cast<std::uint32_t>(src),
+                                      static_cast<std::uint32_t>(dst), w);
+          if (seg.recs.empty()) continue;
+          seg.words_highwater =
+              std::max(seg.words_highwater, seg.words.size());
+          seg.recs_highwater = std::max(seg.recs_highwater, seg.recs.size());
+          for (const RelayRec& r : seg.recs)
+            member.deposit_words(wslot, r.lane, seg.words.data() + r.begin,
+                                 r.end - r.begin);
+          records += static_cast<std::int64_t>(seg.recs.size());
+          pair_bridged_words_[src * k + dst] +=
+              static_cast<std::int64_t>(seg.words.size());
+          seg.words.clear();
+          seg.recs.clear();
+        }
       }
+      member.flip_buffers();
+      member.round_ = round_ + 1;  // the caller (run_phase) advances next
     }
-  }
-  for (auto& sh : shards_) {
-    sh->flip_buffers();
-    sh->round_ = round_ + 1;  // the caller (run_phase) advances next
+    bridge_slots_[wslot].records += records;
+  });
+  for (BridgeSlot& slot : bridge_slots_) {
+    bridge_records_ += slot.records;
+    slot.records = 0;
   }
   active_dirty_ = true;
+}
+
+void ShardedNetwork::retire_segment(std::size_t src, std::size_t dst,
+                                    RelaySegment& seg) {
+  if (seg.words.empty() && seg.recs.empty()) return;
+  // Pending records were sent but never merged (the phase/run ended
+  // before the next flip). Their size is part of the segment's realistic
+  // steady-state need — fold it into the high-water marks (and the
+  // bridged-volume matrix: they crossed the bridge at send time) before
+  // discarding, or an end-of-run burst would be shrunk away and paid for
+  // again next phase.
+  seg.words_highwater = std::max(seg.words_highwater, seg.words.size());
+  seg.recs_highwater = std::max(seg.recs_highwater, seg.recs.size());
+  pair_bridged_words_[src * shards_.size() + dst] +=
+      static_cast<std::int64_t>(seg.words.size());
+  seg.words.clear();
+  seg.recs.clear();
 }
 
 void ShardedNetwork::clear_all_lanes() {
@@ -168,10 +250,13 @@ void ShardedNetwork::clear_all_lanes() {
     sh->clear_all_lanes();
     sh->round_ = round_;  // phase/reuse reset: lockstep from round 0
   }
-  for (RelaySegment& seg : relay_) {
-    seg.words.clear();
-    seg.recs.clear();
-  }
+  const std::size_t k = shards_.size();
+  for (std::size_t src = 0; src < k; ++src)
+    for (std::size_t dst = 0; dst < k; ++dst)
+      for (std::size_t w = 0; w < workers_; ++w)
+        retire_segment(src, dst,
+                       segment(static_cast<std::uint32_t>(src),
+                               static_cast<std::uint32_t>(dst), w));
   active_list_.clear();
   active_dirty_ = false;
 }
@@ -185,10 +270,14 @@ void ShardedNetwork::reset_for_reuse() {
     sh->armed_highwater_ = 0;
     sh->active_highwater_ = 0;
   }
-  relay_words_highwater_ = 0;
-  relay_recs_highwater_ = 0;
+  Network::reset_for_reuse();  // clears lanes (retiring pending segments)
+  for (RelaySegment& seg : relay_) {
+    seg.words_highwater = 0;
+    seg.recs_highwater = 0;
+  }
+  std::fill(pair_bridged_words_.begin(), pair_bridged_words_.end(), 0);
   bridge_records_ = 0;
-  Network::reset_for_reuse();
+  std::fill(lane_traffic_.begin(), lane_traffic_.end(), 0);
 }
 
 void ShardedNetwork::reseed_node_rngs() {
@@ -216,10 +305,20 @@ void ShardedNetwork::rebuild_active_set() {
 
 void ShardedNetwork::shrink_scratch() {
   for (auto& sh : shards_) sh->shrink_scratch();
-  for (RelaySegment& seg : relay_) {
-    maybe_shrink(seg.words, relay_words_highwater_);
-    maybe_shrink(seg.recs, relay_recs_highwater_);
-  }
+  // Retire any end-of-run pending records (folding their sizes into the
+  // marks), then shrink every segment against its OWN per-run peak: a
+  // segment that stayed quiet this run releases its capacity even while
+  // its busiest sibling keeps a large one.
+  const std::size_t k = shards_.size();
+  for (std::size_t src = 0; src < k; ++src)
+    for (std::size_t dst = 0; dst < k; ++dst)
+      for (std::size_t w = 0; w < workers_; ++w) {
+        RelaySegment& seg = segment(static_cast<std::uint32_t>(src),
+                                    static_cast<std::uint32_t>(dst), w);
+        retire_segment(src, dst, seg);
+        maybe_shrink(seg.words, seg.words_highwater);
+        maybe_shrink(seg.recs, seg.recs_highwater);
+      }
   maybe_shrink(active_list_, active_highwater_);
 }
 

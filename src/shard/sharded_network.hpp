@@ -27,6 +27,29 @@
 //     through one relay segment, so sender order within the lane — and
 //     therefore the sender-ordered inbox scan — is preserved.
 //
+// The flip itself is PARALLEL: destination members are independent once
+// the send half-round has closed, so the facade dispatches one task per
+// destination shard on its worker pool (the same static chunk assignment
+// as for_nodes). Each task drains its shard's (src, worker) relay
+// segments in that fixed order — preserving the sender-ordered inbox
+// contract exactly as the old serial drain did — deposits through the
+// executing worker's own slot, then runs the member's flip (lane clear,
+// buffer swap, spill merge/regrow, timer carry) before moving on. All
+// bridge accounting lands in per-worker padded slots or in single-writer
+// per-destination cells, folded serially after the dispatch returns, so
+// nothing races and the result stays bit-identical at every pool width.
+//
+// The facade also measures its own traffic: every flip folds each
+// segment's byte volume into a per-(src, dst) matrix (surfaced per plan
+// boundary for exp12 rows), and enable_traffic_profile() additionally
+// accumulates wire bits per receiver-side arc. measured_plan() feeds
+// that profile to the traffic-aware refine_boundaries overload and
+// adopt_plan() rebuilds the members onto the result between phases or
+// runs — placement driven by measured volume, not static structure.
+// Because results are bit-identical under EVERY plan, re-planning never
+// changes the bits, only the bridge volume; the plan is part of the
+// configuration (same plan => same layout => same performance profile).
+//
 // Determinism contract: for every plan, shard count, and worker-pool
 // width, a run is bit-identical to the unsharded Network — same
 // MdsResults, same delivery traces, same RunStats including the
@@ -40,6 +63,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -65,6 +89,61 @@ class ShardedNetwork final : public Network {
   /// (cumulative across phases until the next reset_for_reuse).
   std::int64_t bridge_records() const { return bridge_records_; }
 
+  /// Bridged 64-bit words sent from shard `src` to shard `dst` so far
+  /// (same lifecycle as bridge_records). Unlike bridge_records this
+  /// includes records still pending at a phase/reuse discard — they
+  /// crossed the bridge at send time, which is what placement cares
+  /// about.
+  std::int64_t bridged_words(int src, int dst) const {
+    return pair_bridged_words_[static_cast<std::size_t>(src) * shards_.size() +
+                               static_cast<std::size_t>(dst)];
+  }
+
+  /// Bytes that crossed each of the plan's K-1 boundaries so far: entry
+  /// b-1 counts every bridged record whose (src, dst) pair straddles
+  /// boundary b (a record from shard 0 to shard 3 crosses boundaries 1,
+  /// 2, and 3). The per-boundary counters exp12 rows carry (schema v3).
+  std::vector<std::int64_t> boundary_bridged_bytes() const;
+
+  /// Start accumulating wire bits per receiver-side CSR arc (the
+  /// indexing cut_volume/refine_boundaries consume). Costs one add per
+  /// message while enabled plus one word per arc; lanes have a single
+  /// writer per round, so the profile is race-free and deterministic.
+  /// Cleared by reset_for_reuse (i.e. at each run() start), so a
+  /// profile read after run() covers exactly that run.
+  void enable_traffic_profile();
+
+  /// The measured per-arc profile (empty unless enabled).
+  std::span<const std::uint64_t> traffic_profile() const {
+    return lane_traffic_;
+  }
+
+  /// The traffic-refined plan: refine_boundaries driven by the measured
+  /// per-arc volumes, starting from (and never worse than) the current
+  /// plan. Meaningful after a profiled run; without a profile it is the
+  /// structural reducer.
+  ShardPlan measured_plan(double balance_slack = 0.2) const;
+
+  /// Plan-rebuild hook: re-partition this facade onto `plan` (typically
+  /// measured_plan() after a profiling run), rebuilding the per-shard
+  /// members in place while keeping the facade's pool, topology, and
+  /// traffic profile. Call between phases or runs (the facade returns
+  /// to the fresh-construction observable state, like reset_for_reuse);
+  /// results are bit-identical under every plan, so adopting a new one
+  /// changes bridge volume, never bits. Bridge counters restart at 0.
+  void adopt_plan(ShardPlan plan);
+
+  /// Capacity (in elements) of one relay segment's word / record
+  /// buffers. Diagnostics for the shrink-policy regression tests: after
+  /// shrink_scratch a quiet segment must not retain capacity sized for
+  /// the busiest segment's peak.
+  std::size_t relay_words_capacity(int src, int dst, int worker) const {
+    return segment_at(src, dst, worker).words.capacity();
+  }
+  std::size_t relay_recs_capacity(int src, int dst, int worker) const {
+    return segment_at(src, dst, worker).recs.capacity();
+  }
+
   // --- Network seams ---
   Rng& rng(NodeId v) override;
   void send(NodeId from, NodeId to, const Message& m) override;
@@ -81,10 +160,23 @@ class ShardedNetwork final : public Network {
     std::uint32_t end;
   };
   /// One (src-shard, dst-shard, worker) segment of the bridge: packed
-  /// wire records plus their destination lanes, in send order.
+  /// wire records plus their destination lanes, in send order. Each
+  /// segment tracks its OWN per-run high-water marks so the post-run
+  /// shrink releases a quiet segment's capacity even while another
+  /// segment stays busy (a single global mark would size every one of
+  /// the k*k*workers segments for the busiest segment's peak).
   struct RelaySegment {
     std::vector<std::uint64_t> words;
     std::vector<RelayRec> recs;
+    std::size_t words_highwater = 0;
+    std::size_t recs_highwater = 0;
+  };
+
+  /// Per-worker bridge tally for the parallel flip merge: each merge
+  /// task bumps its executing worker's padded slot, folded into
+  /// bridge_records_ serially after the dispatch returns.
+  struct alignas(64) BridgeSlot {
+    std::int64_t records = 0;
   };
 
   void flip_buffers() override;
@@ -93,11 +185,27 @@ class ShardedNetwork final : public Network {
   void rebuild_active_set() override;
   void shrink_scratch() override;
 
+  /// (Re)builds the per-shard members, relay segments, and node/lane
+  /// maps from plan_ (constructor + adopt_plan). Bridge counters and
+  /// per-segment high-waters restart at zero.
+  void build_members();
+  /// Folds a segment's pending sizes into its high-water marks and the
+  /// bridged-volume matrix, then discards the contents — records
+  /// dropped undelivered at a phase/reuse boundary still count toward
+  /// the capacity the next phase will realistically need.
+  void retire_segment(std::size_t src, std::size_t dst, RelaySegment& seg);
+
   RelaySegment& segment(std::uint32_t src, std::uint32_t dst,
                         std::size_t worker) {
     return relay_[(static_cast<std::size_t>(src) * shards_.size() + dst) *
                       workers_ +
                   worker];
+  }
+  const RelaySegment& segment_at(int src, int dst, int worker) const {
+    return relay_[(static_cast<std::size_t>(src) * shards_.size() +
+                   static_cast<std::size_t>(dst)) *
+                      workers_ +
+                  static_cast<std::size_t>(worker)];
   }
   int relay_deposit(std::uint32_t src, std::uint32_t dst, std::uint32_t lane,
                     const Message& m, NodeId sender);
@@ -114,9 +222,15 @@ class ShardedNetwork final : public Network {
   std::vector<std::size_t> shard_lane_begin_;
   std::size_t workers_ = 1;
   std::vector<RelaySegment> relay_;
+  std::vector<BridgeSlot> bridge_slots_;
   std::int64_t bridge_records_ = 0;
-  std::size_t relay_words_highwater_ = 0;
-  std::size_t relay_recs_highwater_ = 0;
+  /// Bridged words per (src * K + dst). Written only by dst's merge
+  /// task (or the driver thread at retire time) — single writer per
+  /// cell, folded reads on the driver thread only.
+  std::vector<std::int64_t> pair_bridged_words_;
+  /// Wire bits per receiver-side arc; empty until
+  /// enable_traffic_profile(). Single writer per lane per round.
+  std::vector<std::uint64_t> lane_traffic_;
 };
 
 /// The construction point the harness layers use: a plain Network when

@@ -26,6 +26,7 @@
 #include "core/solvers.hpp"
 #include "gen/arboricity_families.hpp"
 #include "gen/classic.hpp"
+#include "shard/sharded_network.hpp"
 
 namespace {
 
@@ -132,18 +133,29 @@ class FloodProbe final : public DistributedAlgorithm {
   std::vector<double> sums_;
 };
 
-void expect_zero_steady_state_allocs(int threads) {
+void expect_zero_steady_state_allocs(int threads, int shards = 1) {
   auto wg = WeightedGraph::uniform(gen::grid(48, 48));  // n = 2304, m = 4512
   CongestConfig cfg;
   cfg.threads = threads;
-  Network net(wg, cfg);
+  cfg.shards = shards;
+  // shards = 1 constructs a plain Network, > 1 the sharded facade —
+  // whose relay segments and parallel flip merge must also go quiet
+  // after warm-up (segment/spill capacity growth happens early, then
+  // every bridged record reuses the grown buffers).
+  auto net = shard::make_network(wg, cfg);
   FloodProbe probe;
   probe.prepare(wg.num_nodes());
-  const RunStats stats = net.run(probe, 100);
+  const RunStats stats = net->run(probe, 100);
   EXPECT_GT(stats.messages, 0);
   ASSERT_GT(probe.allocs_at_start, 0u);  // warm-up did allocate
   EXPECT_EQ(probe.allocs_at_end - probe.allocs_at_start, 0u)
-      << "steady-state rounds allocated (threads=" << threads << ")";
+      << "steady-state rounds allocated (threads=" << threads
+      << ", shards=" << shards << ")";
+  if (shards > 1) {
+    auto* facade = dynamic_cast<shard::ShardedNetwork*>(net.get());
+    ASSERT_NE(facade, nullptr);
+    EXPECT_GT(facade->bridge_records(), 0) << "bridge never exercised";
+  }
 }
 
 TEST(AllocRegression, SteadyStateRoundsAllocateNothingSerial) {
@@ -152,6 +164,14 @@ TEST(AllocRegression, SteadyStateRoundsAllocateNothingSerial) {
 
 TEST(AllocRegression, SteadyStateRoundsAllocateNothingParallel) {
   expect_zero_steady_state_allocs(4);
+}
+
+TEST(AllocRegression, ShardedSteadyStateRoundsAllocateNothingSerial) {
+  expect_zero_steady_state_allocs(1, /*shards=*/3);
+}
+
+TEST(AllocRegression, ShardedSteadyStateRoundsAllocateNothingParallel) {
+  expect_zero_steady_state_allocs(4, /*shards=*/3);
 }
 
 // The composed Theorem 1.2 pipeline (partial_ds + extension) used to

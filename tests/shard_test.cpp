@@ -104,6 +104,58 @@ TEST(ShardPlanTest, RefinementNeverIncreasesCutAndIsDeterministic) {
   }
 }
 
+// Receiver-side CSR arc index of (u -> v): v's contiguous in-arc range,
+// at u's rank among v's sorted neighbors — the indexing cut_volume and
+// the traffic profile share.
+std::size_t arc_index(const Graph& g, NodeId u, NodeId v) {
+  std::size_t l = 0;
+  for (NodeId w = 0; w < g.num_nodes(); ++w)
+    for (const NodeId s : g.neighbors(w)) {
+      if (w == v && s == u) return l;
+      ++l;
+    }
+  ADD_FAILURE() << "no arc " << u << " -> " << v;
+  return 0;
+}
+
+TEST(ShardPlanTest, CutVolumeWeightsCutArcsByMeasuredTraffic) {
+  const Graph g = gen::grid(1, 8);  // the path 0-1-...-7
+  ShardPlan plan;
+  plan.node_begin = {0, 4, 8};
+  // Empty and all-zero profiles reduce to the raw cut count.
+  EXPECT_EQ(cut_volume(g, plan, {}), cut_arcs(g, plan));
+  std::vector<std::uint64_t> vol(2 * g.num_edges(), 0);
+  EXPECT_EQ(cut_volume(g, plan, vol), cut_arcs(g, plan));
+  // Load the two directed arcs of the cut edge (3, 4).
+  vol[arc_index(g, 3, 4)] = 100;
+  vol[arc_index(g, 4, 3)] = 50;
+  EXPECT_EQ(cut_volume(g, plan, vol), cut_arcs(g, plan) + 150);
+  // Volume on a non-cut arc is free.
+  vol[arc_index(g, 0, 1)] = 999;
+  EXPECT_EQ(cut_volume(g, plan, vol), cut_arcs(g, plan) + 150);
+}
+
+TEST(ShardPlanTest, WeightedRefinementMovesBoundaryOffTheHotEdge) {
+  const Graph g = gen::grid(1, 8);  // the path 0-1-...-7
+  ShardPlan plan;
+  plan.node_begin = {0, 4, 8};
+  // Unweighted: every boundary position on a path is crossed by exactly
+  // one edge, so no strictly better position exists and the plan holds.
+  EXPECT_EQ(refine_boundaries(g, plan, 0.5).node_begin[1], 4u);
+  // An empty profile must reproduce the unweighted sweep bit-for-bit.
+  EXPECT_EQ(refine_boundaries(g, plan, {}, 0.5), refine_boundaries(g, plan, 0.5));
+  // Weighted: the cut edge (3, 4) carries measured traffic, so the
+  // boundary slides to the first in-band position over a cold edge.
+  std::vector<std::uint64_t> vol(2 * g.num_edges(), 0);
+  vol[arc_index(g, 3, 4)] = 100;
+  vol[arc_index(g, 4, 3)] = 50;
+  const ShardPlan refined = refine_boundaries(g, plan, vol, 0.5);
+  EXPECT_EQ(refined.node_begin[1], 3u);
+  EXPECT_LT(cut_volume(g, refined, vol), cut_volume(g, plan, vol));
+  EXPECT_EQ(refined, refine_boundaries(g, plan, vol, 0.5))
+      << "nondeterministic";
+}
+
 TEST(ShardPlanTest, RefinementFindsTheNarrowWaist) {
   // Two dense cliques joined by a single edge, sized so the arc-balanced
   // boundary lands inside a clique; the reducer must slide it to the
@@ -164,8 +216,11 @@ struct Rec {
 
 class ScriptedTraffic : public DistributedAlgorithm {
  public:
-  explicit ScriptedTraffic(std::int64_t send_rounds)
-      : send_rounds_(send_rounds) {}
+  /// `bursts` repeats the per-node emission within a round, so one round
+  /// deposits several records per lane — the flip-merge stress knob (with
+  /// a tiny lane hint every one of them spills).
+  explicit ScriptedTraffic(std::int64_t send_rounds, int bursts = 1)
+      : send_rounds_(send_rounds), bursts_(bursts) {}
 
   void initialize(Network& net) override {
     trace_.assign(net.num_nodes(), {});
@@ -203,18 +258,21 @@ class ScriptedTraffic : public DistributedAlgorithm {
  private:
   void emit(Network& net, NodeId v) {
     Rng& rng = net.rng(v);
-    const double x = rng.next_double();
-    net.broadcast(v, Message::tagged(1)
-                         .add_level(net.current_round() & 7)
-                         .add_real(x));
-    const auto nb = net.neighbors(v);
-    if (!nb.empty() && rng.next_bernoulli(0.5)) {
-      const NodeId to = nb[rng.next_below(nb.size())];
-      net.send(v, to, Message::tagged(2).add_id(v));
+    for (int b = 0; b < bursts_; ++b) {
+      const double x = rng.next_double();
+      net.broadcast(v, Message::tagged(1)
+                           .add_level(net.current_round() & 7)
+                           .add_real(x));
+      const auto nb = net.neighbors(v);
+      if (!nb.empty() && rng.next_bernoulli(0.5)) {
+        const NodeId to = nb[rng.next_below(nb.size())];
+        net.send(v, to, Message::tagged(2).add_id(v));
+      }
     }
   }
 
   std::int64_t send_rounds_;
+  int bursts_ = 1;
   std::vector<std::vector<Rec>> trace_;
   std::vector<std::vector<NodeId>> active_trace_;
 };
@@ -226,8 +284,8 @@ struct ScriptRun {
   std::vector<std::vector<NodeId>> active;
 };
 
-ScriptRun run_script(Network& net, std::int64_t send_rounds) {
-  ScriptedTraffic algo(send_rounds);
+ScriptRun run_script(Network& net, std::int64_t send_rounds, int bursts = 1) {
+  ScriptedTraffic algo(send_rounds, bursts);
   ScriptRun out;
   out.stats = net.run(algo);
   out.trace = algo.trace();
@@ -299,6 +357,193 @@ TEST(ShardBoundaryTest, BridgedLanesSpillAndRegrowLikeLocalOnes) {
   EXPECT_GT(sharded.bridge_records(), 0);
 }
 
+TEST(ShardBoundaryTest, ParallelFlipMergeBitMatchesUnderSpillingBurstLoad) {
+  // Stress for the parallel per-destination flip merge: three emissions
+  // per node per round over a 2-word lane hint means MANY cut lanes
+  // overflow in the same round, so the merge tasks drive the members'
+  // spill buffers from pool workers concurrently. Traces, active sets,
+  // and stats must still bit-match the unsharded serial reference at
+  // every shard count and pool width.
+  const int wide = test_thread_width();
+  Rng rng(41);
+  const WeightedGraph wg =
+      WeightedGraph::uniform(gen::barabasi_albert(192, 4, rng));
+  CongestConfig cfg;
+  cfg.seed = 0x51ab0007ULL;
+  cfg.lane_capacity_words_hint = 2;  // no record fits: every deposit spills
+  Network reference(wg, cfg);
+  const ScriptRun expected = run_script(reference, 8, /*bursts=*/3);
+
+  for (const int k : {2, 7}) {
+    for (const int threads : {1, wide}) {
+      CongestConfig scfg = cfg;
+      scfg.threads = threads;
+      scfg.shards = k;
+      ShardedNetwork sharded(wg, scfg);
+      const ScriptRun got = run_script(sharded, 8, /*bursts=*/3);
+      EXPECT_EQ(got.stats, expected.stats)
+          << "K=" << k << " threads=" << threads;
+      EXPECT_EQ(got.trace, expected.trace)
+          << "K=" << k << " threads=" << threads;
+      EXPECT_EQ(got.active, expected.active)
+          << "K=" << k << " threads=" << threads;
+      EXPECT_GT(sharded.bridge_records(), 0);
+    }
+  }
+}
+
+// Broadcasts a fixed record from every node in [lo, hi) each round; the
+// deterministic traffic source for the shrink / accounting / placement
+// regressions below (no RNG, no inbox dependence).
+class SelectiveFlood final : public DistributedAlgorithm {
+ public:
+  SelectiveFlood(NodeId lo, NodeId hi, std::int64_t rounds)
+      : lo_(lo), hi_(hi), rounds_(rounds) {}
+
+  void initialize(Network& net) override {
+    net.for_nodes([&](NodeId v) {
+      if (v >= lo_ && v < hi_) emit(net, v);
+    });
+  }
+
+  void process_round(Network& net) override {
+    net.for_nodes([&](NodeId v) {
+      if (v >= lo_ && v < hi_ && net.current_round() < rounds_) emit(net, v);
+    });
+  }
+
+  bool finished(const Network& net) const override {
+    return net.current_round() >= rounds_;
+  }
+
+ private:
+  static void emit(Network& net, NodeId v) {
+    net.broadcast(v, Message::tagged(1).add_id(v).add_real(0.25));
+  }
+
+  NodeId lo_;
+  NodeId hi_;
+  std::int64_t rounds_;
+};
+
+// Complete bipartite K_{40,40} with the shard boundary on the waist:
+// every broadcast crosses the bridge, so each direction's relay segment
+// carries thousands of words per round.
+WeightedGraph bipartite_cut_instance() {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 40; ++u)
+    for (NodeId v = 40; v < 80; ++v) edges.push_back({u, v});
+  return WeightedGraph::uniform(Graph::from_edges(80, edges));
+}
+
+TEST(ShardBoundaryTest, ShrinkReleasesQuietSegmentsAndKeepsBusyOnes) {
+  // Regression: shrink_scratch used to judge every relay segment against
+  // one GLOBAL pair of high-water marks, so a segment that stayed quiet
+  // for a whole run kept capacity sized for the busiest segment's peak.
+  // Run A loads both directions; run B (same Network, reset by run())
+  // loads only the 0 -> 1 direction. After run B the quiet 1 -> 0
+  // segment must have released its run-A capacity while the busy one
+  // keeps its.
+  const WeightedGraph wg = bipartite_cut_instance();
+  CongestConfig cfg;
+  cfg.shards = 2;
+  ShardPlan plan;
+  plan.node_begin = {0, 40, 80};
+  ShardedNetwork sharded(wg, cfg, plan);
+  ASSERT_EQ(sharded.num_shards(), 2);
+
+  SelectiveFlood both(0, 80, 4);
+  sharded.run(both);
+  ASSERT_GT(sharded.relay_words_capacity(0, 1, 0),
+            std::size_t{1024});  // run A grew both directions
+  ASSERT_GT(sharded.relay_words_capacity(1, 0, 0), std::size_t{1024});
+
+  SelectiveFlood forward_only(0, 40, 4);
+  sharded.run(forward_only);
+  EXPECT_GT(sharded.relay_words_capacity(0, 1, 0), std::size_t{1024})
+      << "busy segment lost its capacity";
+  EXPECT_LT(sharded.relay_words_capacity(1, 0, 0), std::size_t{1024})
+      << "quiet segment still sized for the busiest segment's peak";
+  EXPECT_LT(sharded.relay_recs_capacity(1, 0, 0),
+            sharded.relay_recs_capacity(0, 1, 0));
+}
+
+TEST(ShardBoundaryTest, PhaseResetFoldsPendingSegmentsIntoHighWaters) {
+  // Regression: a phase that ends with relay records still pending (sent,
+  // never flipped) used to discard them at the next clear_all_lanes
+  // WITHOUT folding their sizes into the high-water marks — so the
+  // post-phase shrink treated the segment as idle and released capacity
+  // the next phase immediately re-pays. The records must also still be
+  // counted by the bridged-volume matrix (they crossed at send time),
+  // while bridge_records() keeps counting only *merged* records.
+  const WeightedGraph wg = bipartite_cut_instance();
+  CongestConfig cfg;
+  cfg.shards = 2;
+  ShardPlan plan;
+  plan.node_begin = {0, 40, 80};
+  ShardedNetwork sharded(wg, cfg, plan);
+  sharded.reset_for_reuse();
+
+  // rounds = 0: initialize() sends 1600 cut broadcasts, finished() is
+  // already true, so no flip ever merges them.
+  SelectiveFlood burst(0, 40, 0);
+  sharded.run_phase(burst, "burst");
+  EXPECT_EQ(sharded.bridge_records(), 0) << "nothing was merged";
+  EXPECT_GT(sharded.bridged_words(0, 1), 0) << "pending volume not counted";
+
+  SelectiveFlood quiet(0, 0, 2);
+  sharded.run_phase(quiet, "quiet");
+  EXPECT_GT(sharded.relay_words_capacity(0, 1, 0), std::size_t{1024})
+      << "pending burst capacity was shrunk away as if the segment were idle";
+}
+
+TEST(ShardBoundaryTest, MeasuredPlanMovesBoundaryToColdEdgeAndKeepsBits) {
+  // End-to-end traffic-aware placement: on the path 0-...-31 with K = 2
+  // the structural plan puts the boundary at 16, inside the hot window
+  // [14, 18) that broadcasts every round. The measured profile must slide
+  // it to 13 — the first in-slack-band position over a cold edge — and
+  // adopting the measured plan must leave the results bit-identical
+  // while eliminating the bridge volume for this traffic.
+  const WeightedGraph wg = WeightedGraph::uniform(gen::grid(1, 32));
+  CongestConfig cfg;
+  Network reference(wg, cfg);
+  SelectiveFlood hot_ref(14, 18, 6);
+  const RunStats expected = reference.run(hot_ref);
+
+  CongestConfig scfg = cfg;
+  scfg.shards = 2;
+  ShardedNetwork sharded(wg, scfg);
+  ASSERT_EQ(sharded.plan().node_begin[1], 16u);
+  sharded.enable_traffic_profile();
+  SelectiveFlood hot(14, 18, 6);
+  EXPECT_EQ(sharded.run(hot), expected);
+  const std::int64_t volume_before =
+      sharded.bridged_words(0, 1) + sharded.bridged_words(1, 0);
+  EXPECT_GT(volume_before, 0);
+
+  const ShardPlan measured = sharded.measured_plan();
+  EXPECT_EQ(measured.node_begin[1], 13u);
+  EXPECT_EQ(measured, sharded.measured_plan()) << "nondeterministic";
+
+  sharded.adopt_plan(measured);
+  SelectiveFlood hot_again(14, 18, 6);
+  EXPECT_EQ(sharded.run(hot_again), expected)
+      << "re-planning changed the bits";
+  const std::int64_t volume_after =
+      sharded.bridged_words(0, 1) + sharded.bridged_words(1, 0);
+  EXPECT_LT(volume_after, volume_before);
+  EXPECT_EQ(volume_after, 0) << "hot window still straddles the boundary";
+
+  // The scripted mixed traffic must also stay bit-identical on the
+  // adopted plan (broadcasts + directed probes + active-set snapshots).
+  Network script_ref(wg, cfg);
+  const ScriptRun want = run_script(script_ref, 6);
+  const ScriptRun got = run_script(sharded, 6);
+  EXPECT_EQ(got.stats, want.stats);
+  EXPECT_EQ(got.trace, want.trace);
+  EXPECT_EQ(got.active, want.active);
+}
+
 TEST(ShardBoundaryTest, ReuseAcrossRunsStaysBitIdentical) {
   Rng rng(31);
   const WeightedGraph wg =
@@ -367,14 +612,21 @@ TEST(ShardedScenarioTest, ShardSweepIsDeterministicAndStampsRows) {
   const auto rows = harness::run_scenario(spec, instances);
   ASSERT_EQ(rows.size(), 2u * 2u * 3u);
   EXPECT_TRUE(harness::all_identical(rows));
-  for (const auto& row : rows)
+  for (const auto& row : rows) {
     EXPECT_TRUE(row.shards == 1 || row.shards == 2 || row.shards == 4);
+    // Schema v3: K-1 per-boundary bridge-volume counters per row, empty
+    // for unsharded rows (a plain Network has no bridge).
+    EXPECT_EQ(row.bridged_bytes.size(),
+              static_cast<std::size_t>(row.shards - 1));
+  }
 
   std::ostringstream os;
   harness::write_scenario_json(os, rows);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"shards\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"bridged_bytes\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"bridged_bytes\": ["), std::string::npos);
 }
 
 }  // namespace

@@ -9,7 +9,10 @@ schema v1 files (no `shards` field) match as shards=1, so pre-shard
 baselines keep working. For every matched row:
   * counter fields (n, m, rounds, messages, total_bits, set_size, weight)
     must be exactly equal — the simulator promises bit-identical results,
-    so any drift is a correctness regression, not noise. A mismatch
+    so any drift is a correctness regression, not noise. `bridged_bytes`
+    (per-boundary bridge volume, new in schema v3) is compared the same
+    way, but only when BOTH rows carry it, so v2 rows and v3 baselines
+    (or vice versa) still match on the shared counters. A mismatch
     prints a per-field diff table (baseline vs fresh vs delta) so the
     failure is diagnosable from the CI log alone;
   * the `identical` determinism verdict must be true in the fresh run.
@@ -75,15 +78,20 @@ def main():
 
     counters = ("n", "m", "rounds", "messages", "total_bits", "set_size",
                 "weight")
+    # Deterministic but only present from schema v3 on: compared exactly
+    # when both sides carry the field, ignored across schema versions.
+    optional_counters = ("bridged_bytes",)
     failures = 0
     ratios = {}
     for k, base in sorted(baseline.items()):
         new = fresh[k]
-        mismatched = [f for f in counters if base[f] != new[f]]
+        row_counters = counters + tuple(
+            f for f in optional_counters if f in base and f in new)
+        mismatched = [f for f in row_counters if base[f] != new[f]]
         if mismatched:
             print(f"FAIL {k}: counters changed (must match exactly): "
                   f"{', '.join(mismatched)}")
-            print_counter_diff(k, base, new, counters)
+            print_counter_diff(k, base, new, row_counters)
             failures += len(mismatched)
         if not new.get("identical", False):
             print(f"FAIL {k}: determinism verdict is false")
