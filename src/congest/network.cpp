@@ -305,6 +305,11 @@ void Network::deposit_words(std::size_t w, EdgeSlot lane,
   }
 }
 
+void Network::deposit_wire(EdgeSlot glane, const std::uint64_t* words,
+                           std::size_t nwords) {
+  deposit_words(worker_slot(), glane, words, nwords);
+}
+
 std::size_t Network::resolve_arc(NodeId from, NodeId to) const {
   const auto nb = graph().neighbors(from);
   const auto it = std::lower_bound(nb.begin(), nb.end(), to);
@@ -587,6 +592,10 @@ void Network::reduce_stats() {
         std::max(stats_.max_message_bits, slot.max_message_bits);
     phase_max_message_bits_ =
         std::max(phase_max_message_bits_, slot.max_message_bits);
+    stats_.dropped += slot.dropped;
+    stats_.duplicated += slot.duplicated;
+    stats_.delayed += slot.delayed;
+    stats_.killed += slot.killed;
     slot = WorkerStats{};
   }
   // int64 gives headroom of ~9e18 bits; a wrap would show up as a sign
@@ -641,9 +650,17 @@ const PhaseStats& Network::run_phase(DistributedAlgorithm& algo,
   rng_streams_fresh_ = false;  // this phase now owns (and advances) them
   const std::int64_t messages_before = stats_.messages;
   const std::int64_t bits_before = stats_.total_bits;
+  const std::int64_t dropped_before = stats_.dropped;
+  const std::int64_t duplicated_before = stats_.duplicated;
+  const std::int64_t delayed_before = stats_.delayed;
+  const std::int64_t killed_before = stats_.killed;
   phase_max_message_bits_ = 0;
   std::int64_t phase_rounds = 0;
   bool hit_limit = false;
+  // The config's hard cap composes with the caller's budget (smaller wins)
+  // so a fault-starved solver terminates via hit_round_limit.
+  if (config_.round_limit > 0)
+    max_rounds = std::min(max_rounds, config_.round_limit);
 
   algo.initialize(*this);
   reduce_stats();
@@ -669,6 +686,10 @@ const PhaseStats& Network::run_phase(DistributedAlgorithm& algo,
   ps.total_bits = stats_.total_bits - bits_before;
   ps.max_message_bits = phase_max_message_bits_;
   ps.hit_round_limit = hit_limit;
+  ps.dropped = stats_.dropped - dropped_before;
+  ps.duplicated = stats_.duplicated - duplicated_before;
+  ps.delayed = stats_.delayed - delayed_before;
+  ps.killed = stats_.killed - killed_before;
   stats_.phases.push_back(std::move(ps));
   return stats_.phases.back();
 }

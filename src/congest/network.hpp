@@ -63,6 +63,7 @@
 #include "common/types.hpp"
 #include "congest/message.hpp"
 #include "congest/worker_pool.hpp"
+#include "fault/fault_spec.hpp"
 #include "graph/weighted_graph.hpp"
 
 namespace arbods {
@@ -96,6 +97,17 @@ struct CongestConfig {
   /// Honored by shard::make_network (constructing a plain Network
   /// ignores it).
   int shards = 1;
+  /// Adversarial fault model applied to every message and node. Honored
+  /// by fault::make_network, which wraps the (sharded or plain) simulator
+  /// in a fault::FaultyNetwork when the spec is enabled(); constructing a
+  /// Network directly ignores it. A default (inert) spec costs nothing.
+  fault::FaultSpec fault{};
+  /// Hard per-phase round cap applied on top of the caller's max_rounds
+  /// (the effective limit is the smaller of the two); 0 = no extra cap.
+  /// Faulty runs set this so a solver starved of messages (e.g. under
+  /// drop-probability 1) terminates via PhaseStats::hit_round_limit
+  /// instead of spinning out the default million-round budget.
+  std::int64_t round_limit = 0;
 
   friend bool operator==(const CongestConfig&, const CongestConfig&) = default;
 };
@@ -116,6 +128,12 @@ struct PhaseStats {
   std::int64_t total_bits = 0;
   int max_message_bits = 0;
   bool hit_round_limit = false;
+  // Fault-injection tallies (always 0 on a clean simulator); see
+  // fault/faulty_network.hpp for exactly what each one counts.
+  std::int64_t dropped = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t delayed = 0;
+  std::int64_t killed = 0;
 
   friend bool operator==(const PhaseStats&, const PhaseStats&) = default;
 };
@@ -126,6 +144,12 @@ struct RunStats {
   std::int64_t total_bits = 0;        // sum of message widths
   int max_message_bits = 0;           // widest single message observed
   bool hit_round_limit = false;
+  // Fault-injection tallies; each equals the sum of its per-phase
+  // counterparts (tested), and all stay 0 on a clean simulator.
+  std::int64_t dropped = 0;           // records discarded in flight
+  std::int64_t duplicated = 0;        // adversarial extra copies injected
+  std::int64_t delayed = 0;           // copies held >= 1 extra round
+  std::int64_t killed = 0;            // records suppressed by dead endpoints
   /// Per-phase breakdown, one entry per run_phase() call (a plain run()
   /// is a single phase named "main").
   std::vector<PhaseStats> phases;
@@ -246,6 +270,10 @@ class InboxView {
 namespace shard {
 class ShardedNetwork;
 }  // namespace shard
+
+namespace fault {
+class FaultyNetwork;
+}  // namespace fault
 
 /// The round-synchronous simulator. The class is also the *driving
 /// surface* of the sharded simulator: shard::ShardedNetwork derives from
@@ -415,6 +443,7 @@ class Network {
 
  private:
   friend class shard::ShardedNetwork;
+  friend class fault::FaultyNetwork;
 
   /// Lane index into the flat per-directed-edge buffers.
   using EdgeSlot = std::uint32_t;
@@ -437,6 +466,11 @@ class Network {
     std::int64_t messages = 0;
     std::int64_t total_bits = 0;
     int max_message_bits = 0;
+    // Fault tallies; only a FaultyNetwork's slots ever see nonzero values.
+    std::int64_t dropped = 0;
+    std::int64_t duplicated = 0;
+    std::int64_t delayed = 0;
+    std::int64_t killed = 0;
   };
 
   /// One worker's overflow storage: whole wire records that did not fit
@@ -466,6 +500,14 @@ class Network {
   virtual void reseed_node_rngs();
   virtual void rebuild_active_set();
   virtual void shrink_scratch();
+  /// Deposits an already-encoded wire record into the out-arena lane
+  /// addressed by a GLOBAL receiver-side arc index, from the calling
+  /// worker's slot. The decorator seam fault::FaultyNetwork delivers
+  /// through: the base class writes its own arena directly, while the
+  /// sharded facade routes to the owning member's local lane — so fault
+  /// delivery composes with sharding without knowing the layout.
+  virtual void deposit_wire(EdgeSlot glane, const std::uint64_t* words,
+                            std::size_t nwords);
   void merge_spills_and_grow();
   struct WorkerCalendar;
   void arm_into(WorkerCalendar& cal, NodeId v, std::int64_t round);

@@ -1,0 +1,101 @@
+// FaultPlan: the fully elaborated adversary a FaultyNetwork executes.
+//
+// A plan is the rich form of a FaultSpec: uniform per-record
+// probabilities plus optional per-arc drop/duplicate overrides (indexed
+// by receiver-side CSR arc, the same indexing ShardedNetwork's traffic
+// profile uses) and an explicit node-kill schedule keyed by round.
+// make_fault_plan derives one from a spec — sampling the kill set with a
+// pure hash of (fault_seed, node) — or a test/bench builds one directly
+// to target specific arcs and nodes.
+//
+// Determinism contract: every decision a FaultyNetwork takes from a plan
+// is a pure hash of (plan.seed, arc, round, record-index) — no RNG state,
+// no iteration order — so a fixed plan produces bit-identical results,
+// delivery traces, and fault counters at every worker-pool width and
+// shard count (tested in tests/fault_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "fault/fault_spec.hpp"
+#include "graph/graph.hpp"
+
+namespace arbods::fault {
+
+/// Crash-stop kill: from `round` on, `node` sends nothing and receives
+/// nothing (in-flight records to it are suppressed on arrival).
+struct KillEvent {
+  NodeId node = 0;
+  std::int64_t round = 0;
+
+  friend bool operator==(const KillEvent&, const KillEvent&) = default;
+};
+
+struct FaultPlan {
+  /// Seed of every fault decision hash.
+  std::uint64_t seed = FaultSpec{}.fault_seed;
+  /// Uniform per-record probabilities (see FaultSpec for semantics).
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_prob = 0.0;
+  int max_delay_rounds = 0;
+  double reorder_prob = 0.0;
+  /// Per-arc overrides, indexed by receiver-side CSR arc; empty = use the
+  /// uniform probability for every arc. When non-empty the size must be
+  /// the arc count (2m) of the graph the FaultyNetwork runs on.
+  std::vector<double> arc_drop;
+  std::vector<double> arc_duplicate;
+  /// Explicit kill schedule (a node listed twice dies at the earlier
+  /// round).
+  std::vector<KillEvent> kills;
+
+  bool enabled() const {
+    return drop_prob > 0.0 || duplicate_prob > 0.0 ||
+           (delay_prob > 0.0 && max_delay_rounds > 0) || reorder_prob > 0.0 ||
+           !arc_drop.empty() || !arc_duplicate.empty() || !kills.empty();
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Elaborates a FaultSpec into a plan for `g`: uniform probabilities are
+/// copied, and each node joins the kill schedule (at spec.kill_round)
+/// with independent probability kill_prob, decided by a pure hash of
+/// (fault_seed, node). Throws CheckError on out-of-range probabilities.
+FaultPlan make_fault_plan(const Graph& g, const FaultSpec& spec);
+
+/// Validates `plan` against `g` (probabilities in [0, 1], per-arc vector
+/// sizes, kill targets in range); throws CheckError on violation.
+void validate_fault_plan(const Graph& g, const FaultPlan& plan);
+
+/// Compact human-readable summary of a spec ("none" when inert, else
+/// e.g. "drop=0.1,dup=0.05,delay=0.2x4,reorder=0.1,kill=0.01@1") —
+/// the default fault-level label in scenario rows.
+std::string fault_label(const FaultSpec& spec);
+
+namespace detail {
+
+/// Base hash of one record's fault decisions: a mix64 chain over
+/// (seed, arc, round, record-index). Successive draws for the same
+/// record re-mix the running value (see FaultyNetwork::inject_record).
+inline std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t arc,
+                                std::int64_t round, std::uint32_t index) {
+  std::uint64_t h = mix64(seed ^ 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ arc);
+  h = mix64(h ^ static_cast<std::uint64_t>(round));
+  h = mix64(h ^ index);
+  return h;
+}
+
+/// Maps a draw to [0, 1) with 53 uniform mantissa bits.
+inline double unit_real(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace detail
+
+}  // namespace arbods::fault

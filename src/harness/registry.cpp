@@ -8,7 +8,7 @@
 #include "common/check.hpp"
 #include "core/solvers.hpp"
 #include "graph/stats.hpp"
-#include "shard/sharded_network.hpp"
+#include "fault/faulty_network.hpp"
 
 namespace arbods::harness {
 
@@ -202,7 +202,7 @@ MdsResult run_solver(std::string_view name, const WeightedGraph& wg,
   CongestConfig cfg = config;
   if (params.threads >= 0) cfg.threads = params.threads;
   if (params.shards >= 1) cfg.shards = params.shards;
-  const std::unique_ptr<Network> net = shard::make_network(wg, cfg);
+  const std::unique_ptr<Network> net = fault::make_network(wg, cfg);
   return info.run_on(*net, params);
 }
 

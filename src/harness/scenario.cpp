@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
+#include "fault/faulty_network.hpp"
 #include "harness/oracle.hpp"
 #include "shard/sharded_network.hpp"
 
@@ -16,7 +17,7 @@ Network& NetworkPool::acquire(const WeightedGraph& wg,
                               const CongestConfig& config) {
   for (Entry& e : entries_)
     if (e.wg == &wg && e.config == config) return *e.net;
-  entries_.push_back(Entry{&wg, config, shard::make_network(wg, config)});
+  entries_.push_back(Entry{&wg, config, fault::make_network(wg, config)});
   ++constructed_;
   return *entries_.back().net;
 }
@@ -61,6 +62,7 @@ std::vector<ScenarioRow> run_scenario(
     ARBODS_CHECK_MSG(shard_count >= 1,
                      "shard counts must be >= 1, got " << shard_count);
   ARBODS_CHECK_MSG(!spec.seeds.empty(), "scenario has no seeds");
+  ARBODS_CHECK_MSG(!spec.fault_levels.empty(), "scenario has no fault levels");
   ARBODS_CHECK_MSG(spec.repeats >= 1, "repeats must be >= 1");
 
   std::vector<ScenarioRow> rows;
@@ -89,9 +91,11 @@ std::vector<ScenarioRow> run_scenario(
       info.check_params(params);
 
       for (const std::uint64_t seed : spec.seeds) {
-        // One reference per (instance, solver, seed): every width, every
-        // shard count, and every repeat must reproduce it bit-for-bit —
-        // a sweep doubles as an end-to-end determinism audit.
+      for (const ScenarioFault& level : spec.fault_levels) {
+        // One reference per (instance, solver, seed, fault level): every
+        // width, every shard count, and every repeat must reproduce it
+        // bit-for-bit — a sweep doubles as an end-to-end determinism
+        // audit, for faulty cells exactly as for clean ones.
         MdsResult reference;
         bool have_reference = false;
 
@@ -101,9 +105,11 @@ std::vector<ScenarioRow> run_scenario(
           cfg.seed = seed;
           cfg.threads = width;
           cfg.shards = shard_count;
+          cfg.fault = level.spec;
           Network& net = pool.acquire(inst.wg, cfg);
 
           bool identical = true;
+          bool failed = false;
           MdsResult res;
           std::vector<double> samples;
           samples.reserve(static_cast<std::size_t>(spec.repeats));
@@ -111,7 +117,21 @@ std::vector<ScenarioRow> run_scenario(
               spec.repeats > 1 ? spec.repeats + 1 : spec.repeats;
           for (int rep = 0; rep < total_runs; ++rep) {
             Stopwatch timer;
-            MdsResult run = info.run_on(net, params);
+            MdsResult run;
+            if (spec.tolerate_failures) {
+              try {
+                run = info.run_on(net, params);
+              } catch (const CheckError&) {
+                // The solver's invariants broke under this fault level;
+                // record the casualty and keep sweeping. The pooled
+                // Network is safe to reuse: every run starts from
+                // reset_for_reuse.
+                failed = true;
+                break;
+              }
+            } else {
+              run = info.run_on(net, params);
+            }
             const double seconds = timer.elapsed_seconds();
             const bool warmup = spec.repeats > 1 && rep == 0;
             if (!warmup) samples.push_back(seconds);
@@ -125,13 +145,17 @@ std::vector<ScenarioRow> run_scenario(
             }
             res = std::move(run);
           }
-          if (spec.validate) res.validate(inst.wg, 1e-5);
+          if (failed) {
+            res = MdsResult{};
+            samples.clear();
+            identical = true;  // excluded from the audit
+          }
+          if (spec.validate && !failed) res.validate(inst.wg, 1e-5);
           if (!spec.keep_certificates) {
             res.packing.clear();
             res.packing.shrink_to_fit();
           }
-          std::sort(samples.begin(), samples.end());
-          const double seconds = samples[samples.size() / 2];
+          const double seconds = median_of(samples);
 
           ScenarioRow row;
           row.instance = inst.name;
@@ -143,19 +167,24 @@ std::vector<ScenarioRow> run_scenario(
           row.threads = width;
           row.shards = shard_count;
           row.seed = seed;
+          row.fault =
+              level.label.empty() ? fault::fault_label(level.spec) : level.label;
           row.repeats = spec.repeats;
           row.seconds = seconds;
           row.result = std::move(res);
           row.identical = identical;
+          row.failed = failed;
           // Bridge counters reset at each run() start, so this reads the
           // final repeat's per-boundary volume — deterministic, hence
-          // identical across repeats anyway.
+          // identical across repeats anyway. A FaultyNetwork over shards
+          // keeps its bridge private, so faulty rows skip the field.
           if (const auto* sharded =
                   dynamic_cast<const shard::ShardedNetwork*>(&net))
             row.bridged_bytes = sharded->boundary_bridged_bytes();
           rows.push_back(std::move(row));
         }
         }
+      }
       }
     }
   }
@@ -176,6 +205,14 @@ bool all_identical(std::span<const ScenarioRow> rows) {
   return true;
 }
 
+double median_of(std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t half = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[half];
+  return 0.5 * (samples[half - 1] + samples[half]);
+}
+
 void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
   os << "[\n";
   bool first = true;
@@ -189,6 +226,8 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
        << ", \"solver\": " << json_string(row.solver)
        << ", \"threads\": " << row.threads
        << ", \"shards\": " << row.shards
+       << ", \"seed\": " << row.seed
+       << ", \"fault\": " << json_string(row.fault)
        << ", \"seconds\": " << row.seconds
        << ", \"repeats\": " << row.repeats
        << ", \"rounds\": " << row.result.stats.rounds
@@ -196,7 +235,12 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
        << ", \"total_bits\": " << row.result.stats.total_bits
        << ", \"set_size\": " << row.result.dominating_set.size()
        << ", \"weight\": " << row.result.weight
+       << ", \"dropped\": " << row.result.stats.dropped
+       << ", \"duplicated\": " << row.result.stats.duplicated
+       << ", \"delayed\": " << row.result.stats.delayed
+       << ", \"killed\": " << row.result.stats.killed
        << ", \"identical\": " << (row.identical ? "true" : "false")
+       << ", \"failed\": " << (row.failed ? "true" : "false")
        << ", \"bridged_bytes\": [";
     for (std::size_t i = 0; i < row.bridged_bytes.size(); ++i) {
       if (i > 0) os << ", ";

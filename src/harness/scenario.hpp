@@ -1,8 +1,9 @@
 // Scenario batch runner: the harness layer of the protocol engine.
 //
 // A ScenarioSpec describes a sweep {solvers x instances x thread widths x
-// seeds x repeats}; run_scenario expands it over POOLED Networks — one
-// Network per (instance, width, seed), constructed once and reset between
+// shard counts x seeds x fault levels x repeats}; run_scenario expands it
+// over POOLED Networks — one Network per (instance, width, shard count,
+// seed, fault level), constructed once and reset between
 // runs via Network::reset_for_reuse — and returns one row per cell with
 // the full MdsResult (per-phase stats included), a median wall-clock
 // timing, and a cross-width/cross-repeat determinism verdict. The old
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_spec.hpp"
 #include "harness/corpus.hpp"
 #include "harness/registry.hpp"
 
@@ -38,6 +40,15 @@ struct ScenarioSolver {
   std::string label;                   // defaults to `name`
 };
 
+/// One fault level of a scenario sweep: a display label (the rows' JSON
+/// `fault` field; empty = derive via fault::fault_label) plus the
+/// FaultSpec installed into the cell's CongestConfig. The default level
+/// is inert, so an unconfigured scenario stays a clean sweep.
+struct ScenarioFault {
+  std::string label;
+  fault::FaultSpec spec{};
+};
+
 struct ScenarioSpec {
   std::vector<ScenarioSolver> solvers;
   std::vector<int> thread_widths = {1};
@@ -49,6 +60,18 @@ struct ScenarioSpec {
   /// default so an unconfigured scenario matches an unconfigured solver
   /// call bit-for-bit.
   std::vector<std::uint64_t> seeds = {CongestConfig{}.seed};
+  /// Fault levels (one pass per level, like thread_widths): each level's
+  /// spec overrides base_config.fault and labels its rows, so one sweep
+  /// emits a robustness envelope per solver. The determinism audit keys
+  /// its reference per (instance, solver, seed, fault level) — faulty
+  /// runs promise bit-identical results across every width and shard
+  /// count just like clean ones.
+  std::vector<ScenarioFault> fault_levels = {{}};
+  /// Catch a solver CheckError per cell (a heavy fault level can starve
+  /// a solver into a violated invariant) and mark the row failed=true —
+  /// with a default result and zero seconds — instead of aborting the
+  /// whole sweep. Failed cells are excluded from the determinism audit.
+  bool tolerate_failures = false;
   /// Timed runs per cell (the reported seconds is their median); > 1
   /// adds one untimed warm-up run first.
   int repeats = 1;
@@ -79,10 +102,14 @@ struct ScenarioRow {
   int threads = 1;
   int shards = 1;
   std::uint64_t seed = 0;
+  /// The fault level's label ("none" for a clean cell).
+  std::string fault = "none";
   int repeats = 1;
   double seconds = 0.0;    // median over the timed repeats
   MdsResult result;
   bool identical = true;   // determinism verdict for this cell
+  /// The solver threw a CheckError (only under tolerate_failures).
+  bool failed = false;
   /// Bytes that crossed each of the shard plan's K-1 boundaries during
   /// the cell's final run (ShardedNetwork::boundary_bridged_bytes).
   /// Empty when shards == 1 — a plain Network has no bridge.
@@ -123,18 +150,28 @@ std::vector<ScenarioRow> run_scenario(
 /// True iff every row's determinism verdict holds.
 bool all_identical(std::span<const ScenarioRow> rows);
 
+/// True midpoint median of the samples (sorted in place): the average of
+/// the two central elements for even sizes, 0.0 for an empty vector.
+/// Exposed so the even-count bias fix is unit-testable — the old
+/// samples[size / 2] reported the UPPER central element, biasing
+/// --repeats 4 timings upward.
+double median_of(std::vector<double>& samples);
+
 /// The exp12 JSON row schema version emitted by write_scenario_json.
 /// v2 added `schema_version` and the per-row `shards` count, so
 /// artifacts from different shard configs are distinguishable. v3 added
 /// `bridged_bytes`, the per-boundary inter-shard byte volume of the
 /// cell's final run (an empty array for unsharded rows) — the measured
-/// quantity traffic-aware shard placement optimizes.
-inline constexpr int kScenarioJsonSchemaVersion = 3;
+/// quantity traffic-aware shard placement optimizes. v4 added `seed`
+/// (multi-seed sweeps used to emit indistinguishable rows), the fault
+/// axis (`fault` label plus the dropped/duplicated/delayed/killed
+/// counters), and `failed` (solver threw under tolerate_failures).
+inline constexpr int kScenarioJsonSchemaVersion = 4;
 
 /// One JSON object per row, as a JSON array (the exp12 schema):
-/// schema_version/instance/family/n/m/solver/threads/shards/seconds/
-/// repeats/rounds/messages/total_bits/set_size/weight/identical/
-/// bridged_bytes.
+/// schema_version/instance/family/n/m/solver/threads/shards/seed/fault/
+/// seconds/repeats/rounds/messages/total_bits/set_size/weight/dropped/
+/// duplicated/delayed/killed/identical/failed/bridged_bytes.
 void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows);
 
 }  // namespace arbods::harness

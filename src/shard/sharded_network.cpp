@@ -177,6 +177,20 @@ void ShardedNetwork::relay_append(std::uint32_t src, std::uint32_t dst,
                       static_cast<std::uint32_t>(b + nwords)});
 }
 
+void ShardedNetwork::deposit_wire(std::uint32_t glane,
+                                  const std::uint64_t* words,
+                                  std::size_t nwords) {
+  // The fault decorator's delivery path: a global receiver-side arc
+  // resolves to (owning member, member-local lane). The deposit runs on
+  // the calling worker's slot of the member, exactly like an intra-shard
+  // send, so the single-writer-per-lane contract is the caller's.
+  const std::uint32_t dst = node_shard_[lane_receiver_[glane]];
+  shards_[dst]->deposit_words(
+      shards_[dst]->worker_slot(),
+      static_cast<std::uint32_t>(glane - shard_lane_begin_[dst]), words,
+      nwords);
+}
+
 void ShardedNetwork::flip_buffers() {
   // Merge the bridge into the destination members' out-arenas, then let
   // every member run its own flip (consumed-lane clear, buffer swap,

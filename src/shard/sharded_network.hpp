@@ -184,6 +184,8 @@ class ShardedNetwork final : public Network {
   void reseed_node_rngs() override;
   void rebuild_active_set() override;
   void shrink_scratch() override;
+  void deposit_wire(std::uint32_t glane, const std::uint64_t* words,
+                    std::size_t nwords) override;
 
   /// (Re)builds the per-shard members, relay segments, and node/lane
   /// maps from plan_ (constructor + adopt_plan). Bridge counters and

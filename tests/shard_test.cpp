@@ -623,7 +623,9 @@ TEST(ShardedScenarioTest, ShardSweepIsDeterministicAndStampsRows) {
   std::ostringstream os;
   harness::write_scenario_json(os, rows);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": " +
+                      std::to_string(harness::kScenarioJsonSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(json.find("\"shards\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"bridged_bytes\": []"), std::string::npos);
   EXPECT_NE(json.find("\"bridged_bytes\": ["), std::string::npos);

@@ -1,21 +1,36 @@
 #!/usr/bin/env python3
-"""Compare a fresh exp12 scenario JSON against the checked-in baseline.
+"""Compare a fresh exp12/exp13 scenario JSON against the checked-in baseline.
 
 Usage: compare_bench.py BASELINE.json FRESH.json [--tolerance 0.25]
                         [--uniform-slack 2.0]
 
-Rows are matched on (instance, solver, threads, shards); rows from
-schema v1 files (no `shards` field) match as shards=1, so pre-shard
-baselines keep working. For every matched row:
+Rows are matched on (instance, solver, threads, shards) plus, when BOTH
+files carry the field, `seed` and `fault` (new in schema v4 — a
+multi-seed or fault-level sweep emits one row per seed and per level, so
+the key must include them to stay unique). Rows from older schemas keep
+matching: v1 files (no `shards`) match as shards=1, and pre-v4 rows
+missing `seed`/`fault` take the defaults (seed None, fault "none") when
+the other file forces the field into the key. A duplicate key within
+EITHER file is a hard usage error (exit 2): the old dict build silently
+kept only the last duplicate, so a baseline regenerated from a
+multi-seed sweep could "pass" while comparing a fraction of its rows.
+
+For every matched row:
   * counter fields (n, m, rounds, messages, total_bits, set_size, weight)
     must be exactly equal — the simulator promises bit-identical results,
-    so any drift is a correctness regression, not noise. `bridged_bytes`
-    (per-boundary bridge volume, new in schema v3) is compared the same
-    way, but only when BOTH rows carry it, so v2 rows and v3 baselines
-    (or vice versa) still match on the shared counters. A mismatch
-    prints a per-field diff table (baseline vs fresh vs delta) so the
-    failure is diagnosable from the CI log alone;
+    so any drift is a correctness regression, not noise. Deterministic
+    fields that only exist from a later schema on are compared the same
+    way when BOTH rows carry them, so older baselines still match on the
+    shared counters: `bridged_bytes` (per-boundary bridge volume, v3),
+    and the v4 fault axis — the `dropped` / `duplicated` / `delayed` /
+    `killed` counters and the `failed` flag. A mismatch prints a
+    per-field diff table (baseline vs fresh vs delta) so the failure is
+    diagnosable from the CI log alone;
   * the `identical` determinism verdict must be true in the fresh run.
+
+Rows only present in the fresh file (new instances, new fault levels)
+are reported but do not fail the gate; rows only present in the baseline
+do (exit 2) — the fresh run must cover everything the baseline pins.
 
 Timing is judged robustly against runner-speed differences (the baseline
 is regenerated on whatever machine last shifted the engine's numbers, CI
@@ -25,19 +40,58 @@ NORMALIZED ratio exceeds 1 + threshold — i.e. when it regressed relative
 to the rest of the suite. A uniform slowdown hides from that check, so
 the machine factor itself fails the gate only past --uniform-slack
 (default 2.0x), generous enough for runner-class variance but not for a
-catastrophic engine-wide regression.
+catastrophic engine-wide regression. Rows a heavy fault level failed
+(`failed` true on both sides) carry no meaningful seconds and are
+excluded from the timing gate.
 
-Exit code 0 = pass, 1 = regression / mismatch, 2 = usage or missing rows.
+Exit code 0 = pass, 1 = regression / mismatch, 2 = usage, missing rows,
+or duplicate keys.
 """
 import argparse
 import json
 import math
 import sys
 
+# Fields a row may lack when it predates the schema that added them; the
+# default keeps old rows addressable under the extended key.
+KEY_DEFAULTS = {"shards": 1, "seed": None, "fault": "none"}
 
-def key(row):
-    return (row["instance"], row["solver"], row["threads"],
-            row.get("shards", 1))
+
+def make_key(row, key_fields):
+    return tuple(row.get(f, KEY_DEFAULTS.get(f)) for f in key_fields)
+
+
+def key_fields_for(baseline_rows, fresh_rows):
+    """(instance, solver, threads, shards) plus each v4 axis field that
+    both files actually stamp — a v4/v3 comparison must not split on a
+    field the v3 side cannot distinguish."""
+    fields = ["instance", "solver", "threads", "shards"]
+    for axis in ("seed", "fault"):
+        if (any(axis in r for r in baseline_rows)
+                and any(axis in r for r in fresh_rows)):
+            fields.append(axis)
+    return tuple(fields)
+
+
+def build_index(rows, key_fields, label):
+    """{key: row}, failing loudly on duplicates instead of silently
+    keeping the last one."""
+    index = {}
+    duplicates = []
+    for row in rows:
+        k = make_key(row, key_fields)
+        if k in index:
+            duplicates.append(k)
+        index[k] = row
+    if duplicates:
+        print(f"FAIL: duplicate row keys in {label} "
+              f"(key = {', '.join(key_fields)}):")
+        for k in sorted(set(duplicates)):
+            print(f"  {k}")
+        print("  (a multi-seed or multi-fault sweep needs a schema v4 "
+              "file so seed/fault can join the key)")
+        return None
+    return index
 
 
 def print_counter_diff(k, base, new, counters):
@@ -67,20 +121,33 @@ def main():
     args = parser.parse_args()
 
     with open(args.baseline) as f:
-        baseline = {key(r): r for r in json.load(f)}
+        baseline_rows = json.load(f)
     with open(args.fresh) as f:
-        fresh = {key(r): r for r in json.load(f)}
+        fresh_rows = json.load(f)
+
+    key_fields = key_fields_for(baseline_rows, fresh_rows)
+    print(f"row key: ({', '.join(key_fields)})")
+    baseline = build_index(baseline_rows, key_fields, "baseline")
+    fresh = build_index(fresh_rows, key_fields, "fresh run")
+    if baseline is None or fresh is None:
+        return 2
 
     missing = sorted(set(baseline) - set(fresh))
     if missing:
         print(f"FAIL: fresh run is missing baseline rows: {missing}")
         return 2
+    fresh_only = sorted(set(fresh) - set(baseline))
+    if fresh_only:
+        print(f"note: {len(fresh_only)} fresh row(s) have no baseline "
+              f"(unpinned, not compared): {fresh_only}")
 
     counters = ("n", "m", "rounds", "messages", "total_bits", "set_size",
                 "weight")
-    # Deterministic but only present from schema v3 on: compared exactly
-    # when both sides carry the field, ignored across schema versions.
-    optional_counters = ("bridged_bytes",)
+    # Deterministic but schema-gated: compared exactly when both sides
+    # carry the field (bridged_bytes from v3; the fault axis from v4),
+    # ignored across schema versions.
+    optional_counters = ("bridged_bytes", "dropped", "duplicated",
+                         "delayed", "killed", "failed")
     failures = 0
     ratios = {}
     for k, base in sorted(baseline.items()):
@@ -96,6 +163,8 @@ def main():
         if not new.get("identical", False):
             print(f"FAIL {k}: determinism verdict is false")
             failures += 1
+        if base.get("failed", False) and new.get("failed", False):
+            continue  # no meaningful seconds on either side
         ratios[k] = (new["seconds"] / base["seconds"]
                      if base["seconds"] > 0 else 1.0)
 
