@@ -61,6 +61,10 @@ Message& Message::add_real(double x) {
   return push({FieldKind::kReal, 0, x});
 }
 
+Message& Message::add_tag(int tag) {
+  return push({FieldKind::kTag, tag, 0.0});
+}
+
 const Field& Message::field_checked(std::size_t i, FieldKind kind) const {
   const Field& f = field(i);
   ARBODS_CHECK_MSG(f.kind == kind, "field " << i << " kind mismatch");
@@ -70,6 +74,10 @@ const Field& Message::field_checked(std::size_t i, FieldKind kind) const {
 int Message::tag() const {
   if (size_ == 0 || inline_[0].kind != FieldKind::kTag) return -1;
   return static_cast<int>(inline_[0].ivalue);
+}
+
+int Message::tag_at(std::size_t i) const {
+  return static_cast<int>(field_checked(i, FieldKind::kTag).ivalue);
 }
 
 NodeId Message::id_at(std::size_t i) const {
@@ -258,6 +266,10 @@ int MessageView::tag() const {
   const std::uint64_t mask =
       width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
   return static_cast<int>(payload[0] & mask);
+}
+
+int MessageView::tag_at(std::size_t i) const {
+  return static_cast<int>(payload_bits_at(i, FieldKind::kTag));
 }
 
 NodeId MessageView::id_at(std::size_t i) const {

@@ -57,6 +57,13 @@ enum class FieldKind : std::uint8_t {
   kTag,      // message type discriminator (small enum)
 };
 
+/// Wire tags reserved for the reliable-transport adapter
+/// (src/resilience/reliable_channel.hpp). Algorithm tags stay below
+/// these two values; the transport owns every physical message while it
+/// is active, so the reservation is a convention, not an enforced split.
+inline constexpr int kTransportDataTag = 14;  // seq + ack + payload
+inline constexpr int kTransportAckTag = 15;   // standalone cumulative ack
+
 /// Per-instance field widths in bits.
 struct MessageSizeModel {
   int id_bits = 32;
@@ -68,6 +75,17 @@ struct MessageSizeModel {
 
   int width_of(FieldKind kind) const;
 };
+
+/// Accounted bits of the reliable-transport DATA header under `model`:
+/// one kTag (record discriminator) + two kLevel (sequence number and
+/// piggybacked cumulative ack) + one kFlag (round marker). The Network
+/// raises its cap by exactly this much when
+/// CongestConfig::reliable_transport is set, so a transport frame
+/// wrapping a cap-sized algorithm payload still fits; a standalone ACK
+/// (kTag + kLevel) is strictly smaller.
+inline int reliable_transport_header_bits(const MessageSizeModel& model) {
+  return model.tag_bits + 2 * model.level_bits + model.flag_bits;
+}
 
 struct Field {
   FieldKind kind;
@@ -98,11 +116,16 @@ class Message {
   Message& add_level(std::int64_t level);
   Message& add_flag(bool b);
   Message& add_real(double x);
+  /// Appends a kTag field at the current position (tagged() only places
+  /// one at field 0). Needed by relays that re-encode a received record
+  /// field-for-field, e.g. the reliable-transport payload unwrap.
+  Message& add_tag(int tag);
 
   std::size_t num_fields() const { return size_; }
 
   /// Typed accessors; kind mismatches are contract violations.
   int tag() const;  // tag of field 0 (kTag); -1 if untagged
+  int tag_at(std::size_t i) const;
   NodeId id_at(std::size_t i) const;
   Weight weight_at(std::size_t i) const;
   std::int64_t level_at(std::size_t i) const;
@@ -187,6 +210,7 @@ class MessageView {
   /// Typed accessors; kind mismatches are contract violations, exactly as
   /// on the builder.
   int tag() const;  // tag of field 0 (kTag); -1 if untagged
+  int tag_at(std::size_t i) const;
   NodeId id_at(std::size_t i) const;
   Weight weight_at(std::size_t i) const;
   std::int64_t level_at(std::size_t i) const;

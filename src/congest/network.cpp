@@ -65,6 +65,14 @@ void Network::init_size_model() {
       std::min(31, 2 * (bit_width_for(n + 1) + size_model_.weight_bits));
   size_model_.real_bits = default_value_codec().bit_width();
   max_message_bits_ = congest_message_cap(config_, n);
+  // Reliable-transport headroom: the adapter wraps every algorithm
+  // record in a (tag, seq, ack, marker) frame, so the PHYSICAL cap grows
+  // by exactly the frame's accounted width. The adapter's virtual
+  // network is constructed with the flag off and enforces the original
+  // cap on the algorithm, so the algorithm's observable world is
+  // unchanged.
+  if (config_.reliable_transport)
+    max_message_bits_ += reliable_transport_header_bits(size_model_);
 }
 
 std::size_t Network::build_csr_topology() {
@@ -645,6 +653,14 @@ const PhaseStats& Network::run_phase(DistributedAlgorithm& algo,
   // messages from the previous phase are dropped, matching the old
   // drivers' per-phase Networks; statistics counted them at send time.
   round_ = 0;
+  // Discard per-worker stat deltas that a mid-round exception left
+  // unreduced (e.g. a solver CheckError before a `<solver>+repair` retry):
+  // which nodes ran before the throw depends on worker scheduling, so
+  // folding the partial round in would make this phase's counters vary
+  // with the pool width. Every completed round was already reduced; only
+  // the aborted round's partial accounting is dropped. A no-op after a
+  // phase that finished normally.
+  for (WorkerStats& slot : worker_stats_) slot = WorkerStats{};
   clear_all_lanes();
   reseed_node_rngs();
   rng_streams_fresh_ = false;  // this phase now owns (and advances) them

@@ -108,6 +108,13 @@ struct CongestConfig {
   /// drop-probability 1) terminates via PhaseStats::hit_round_limit
   /// instead of spinning out the default million-round budget.
   std::int64_t round_limit = 0;
+  /// Run every phase through the reliable-delivery adapter
+  /// (resilience::ReliablePhase): exactly-once, sender-ordered delivery
+  /// over drop/duplicate/reorder/delay faults. Honored by ProtocolRunner;
+  /// the Network itself only grants the transport-frame cap headroom
+  /// (reliable_transport_header_bits on top of congest_message_cap) —
+  /// the wrapped algorithm still sees exactly the original cap.
+  bool reliable_transport = false;
 
   friend bool operator==(const CongestConfig&, const CongestConfig&) = default;
 };
@@ -275,6 +282,10 @@ namespace fault {
 class FaultyNetwork;
 }  // namespace fault
 
+namespace resilience {
+class ReliableNetwork;
+}  // namespace resilience
+
 /// The round-synchronous simulator. The class is also the *driving
 /// surface* of the sharded simulator: shard::ShardedNetwork derives from
 /// it and overrides the handful of virtual seams below (send/inbox/rng/
@@ -302,6 +313,9 @@ class Network {
 
   int max_message_bits() const { return max_message_bits_; }
   const MessageSizeModel& size_model() const { return size_model_; }
+  /// The config this Network was constructed with (threads/shards/fault
+  /// already resolved by the make_network dispatchers upstream).
+  const CongestConfig& config() const { return config_; }
 
   /// Per-node deterministic RNG stream.
   virtual Rng& rng(NodeId v);
@@ -444,6 +458,7 @@ class Network {
  private:
   friend class shard::ShardedNetwork;
   friend class fault::FaultyNetwork;
+  friend class resilience::ReliableNetwork;
 
   /// Lane index into the flat per-directed-edge buffers.
   using EdgeSlot = std::uint32_t;

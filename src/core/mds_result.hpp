@@ -31,6 +31,15 @@ struct MdsResult {
   /// True if a defensive fallback path ran (must stay false; tested).
   bool used_fallback = false;
 
+  // Self-healing columns, nonzero only for the "<solver>+repair"
+  // registry variants (src/resilience/repair.hpp): rounds the post-kill
+  // repair phase consumed, nodes its election added, and the repaired
+  // set's total weight (== `weight` on those variants; kept as its own
+  // column so raw and +repair rows stay comparable in scenario JSON).
+  std::int64_t repair_rounds = 0;
+  std::int64_t repaired_nodes = 0;
+  Weight post_repair_weight = 0;
+
   /// Simulator statistics for the full run (all composed phases).
   RunStats stats;
 

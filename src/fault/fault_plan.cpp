@@ -25,6 +25,10 @@ FaultPlan make_fault_plan(const Graph& g, const FaultSpec& spec) {
   ARBODS_CHECK_MSG(spec.max_delay_rounds >= 0,
                    "max_delay_rounds must be >= 0, got "
                        << spec.max_delay_rounds);
+  ARBODS_CHECK_MSG(spec.kill_round >= 1,
+                   "kill_round must be >= 1 (a node can die no earlier than "
+                   "the first process_round), got "
+                       << spec.kill_round);
   FaultPlan plan;
   plan.seed = spec.fault_seed;
   plan.drop_prob = spec.drop_prob;
@@ -64,10 +68,21 @@ void validate_fault_plan(const Graph& g, const FaultPlan& plan) {
                            << " entries; graph has " << arcs << " arcs");
   for (const double p : plan.arc_drop) check_prob(p, "arc_drop[]");
   for (const double p : plan.arc_duplicate) check_prob(p, "arc_duplicate[]");
-  for (const KillEvent& k : plan.kills)
+  for (const KillEvent& k : plan.kills) {
     ARBODS_CHECK_MSG(k.node < g.num_nodes(),
                      "kill targets node " << k.node << " of an "
                                           << g.num_nodes() << "-node graph");
+    ARBODS_CHECK_MSG(k.round >= 1,
+                     "kill of node " << k.node << " scheduled for round "
+                                     << k.round << "; kills start at round 1");
+  }
+}
+
+std::vector<std::uint8_t> alive_mask(const Graph& g, const FaultSpec& spec) {
+  std::vector<std::uint8_t> alive(g.num_nodes(), 1);
+  const FaultPlan plan = make_fault_plan(g, spec);
+  for (const KillEvent& k : plan.kills) alive[k.node] = 0;
+  return alive;
 }
 
 std::string fault_label(const FaultSpec& spec) {

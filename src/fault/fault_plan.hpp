@@ -77,6 +77,13 @@ void validate_fault_plan(const Graph& g, const FaultPlan& plan);
 /// the default fault-level label in scenario rows.
 std::string fault_label(const FaultSpec& spec);
 
+/// Survivor mask of the kill schedule `spec` induces on `g`: mask[v] is
+/// nonzero iff v is never killed. A pure function of (g, spec) — the
+/// same schedule a FaultyNetwork over that pair samples — so the
+/// surviving-subgraph oracle can recompute who survives without
+/// replaying the run.
+std::vector<std::uint8_t> alive_mask(const Graph& g, const FaultSpec& spec);
+
 namespace detail {
 
 /// Base hash of one record's fault decisions: a mix64 chain over

@@ -69,6 +69,13 @@ void FaultyNetwork::init_from_plan(const WeightedGraph& wg,
   }
 }
 
+std::vector<NodeId> FaultyNetwork::killed_nodes() const {
+  std::vector<NodeId> killed;
+  for (NodeId v = 0; v < static_cast<NodeId>(kill_round_.size()); ++v)
+    if (!alive(v)) killed.push_back(v);
+  return killed;
+}
+
 void FaultyNetwork::send(NodeId from, NodeId to, const Message& m) {
   const std::size_t arc = resolve_arc(from, to);
   const std::size_t w = worker_slot();

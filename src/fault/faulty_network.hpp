@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,17 @@ class FaultyNetwork final : public Network {
   const FaultPlan& plan() const { return plan_; }
   /// The inner delivery engine (diagnostics/tests).
   const Network& inner() const { return *inner_; }
+
+  /// True iff v is NOT in the kill schedule. Note the schedule view:
+  /// a node with a future kill_round still counts as killed here —
+  /// repair and the surviving-subgraph oracle reason about who survives
+  /// the whole plan, which is a pure function of (graph, spec) and so
+  /// recomputable by any checker without replaying the run.
+  bool alive(NodeId v) const {
+    return kill_round_[v] == std::numeric_limits<std::int64_t>::max();
+  }
+  /// The scheduled kill set, sorted ascending (the complement of alive()).
+  std::vector<NodeId> killed_nodes() const;
 
   // --- Network seams ---
   Rng& rng(NodeId v) override { return inner_->rng(v); }

@@ -43,15 +43,36 @@ OracleReport check_solver_result(const SolverInfo& info,
   };
 
   const Graph& g = inst.wg.graph();
+  const std::vector<std::uint8_t>* alive = opts.alive;
+  if (alive != nullptr && alive->size() != g.num_nodes())
+    return fail("alive mask size does not match the instance");
 
-  // 1. The set is well-formed and dominating.
+  // 1. The set is well-formed and dominating. In surviving mode only
+  // alive nodes need a dominator, and only alive members provide one.
   if (!is_valid_node_set(g, res.dominating_set))
     return fail("result set has duplicates or out-of-range ids");
-  if (!is_dominating_set(g, res.dominating_set)) {
-    std::ostringstream os;
-    os << undominated_nodes(g, res.dominating_set).size()
-       << " nodes undominated";
-    return fail(os.str());
+  if (alive == nullptr) {
+    if (!is_dominating_set(g, res.dominating_set)) {
+      std::ostringstream os;
+      os << undominated_nodes(g, res.dominating_set).size()
+         << " nodes undominated";
+      return fail(os.str());
+    }
+  } else {
+    std::vector<std::uint8_t> covered(g.num_nodes(), 0);
+    for (const NodeId s : res.dominating_set) {
+      if (!(*alive)[s]) continue;  // a killed dominator covers nobody
+      covered[s] = 1;
+      for (const NodeId u : g.neighbors(s)) covered[u] = 1;
+    }
+    std::int64_t uncovered = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if ((*alive)[v] && !covered[v]) ++uncovered;
+    if (uncovered > 0) {
+      std::ostringstream os;
+      os << uncovered << " surviving nodes undominated in the alive subgraph";
+      return fail(os.str());
+    }
   }
 
   // 2. The recorded weight matches the set.
@@ -80,8 +101,50 @@ OracleReport check_solver_result(const SolverInfo& info,
   if (res.stats.total_bits <
       static_cast<std::int64_t>(res.stats.messages))
     return fail("total_bits below one bit per message");
-  if (res.stats.hit_round_limit) return fail("round budget exhausted");
+  // In surviving mode a round-limit hit is data (the raw-vs-repair
+  // comparison), not a failure — scenario JSON carries it as its own
+  // column.
+  if (alive == nullptr && res.stats.hit_round_limit)
+    return fail("round budget exhausted");
   if (res.used_fallback) return fail("defensive fallback path ran");
+
+  // 5'. Surviving mode: no analytic bound applies post-kill; report the
+  // ratio of the alive members' weight against the exact optimum of the
+  // induced alive subgraph when it is small enough.
+  if (alive != nullptr) {
+    NodeId alive_count = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      if ((*alive)[v]) ++alive_count;
+    if (opts.check_approx_bound && alive_count > 0 &&
+        alive_count <= opts.exact_limit) {
+      std::vector<NodeId> dense(g.num_nodes(), 0);
+      NodeId next = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if ((*alive)[v]) dense[v] = next++;
+      std::vector<Edge> edges;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!(*alive)[v]) continue;
+        for (const NodeId u : g.neighbors(v))
+          if (u > v && (*alive)[u]) edges.push_back({dense[v], dense[u]});
+      }
+      std::vector<Weight> weights(alive_count, 0);
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if ((*alive)[v]) weights[dense[v]] = inst.wg.weight(v);
+      const WeightedGraph sub(Graph::from_edges(alive_count, edges),
+                              std::move(weights));
+      auto exact = baselines::exact_dominating_set(sub);
+      if (!exact.has_value())
+        return fail("exact solver exhausted its budget (alive subgraph)");
+      Weight alive_weight = 0;
+      for (const NodeId s : res.dominating_set)
+        if ((*alive)[s]) alive_weight += inst.wg.weight(s);
+      rep.opt = static_cast<double>(exact->weight);
+      rep.ratio = rep.opt > 0
+                      ? static_cast<double>(alive_weight) / rep.opt
+                      : 1.0;
+    }
+    return rep;
+  }
 
   // 5. Cost against the exact optimum (small instances only).
   if (opts.check_approx_bound && inst.wg.num_nodes() <= opts.exact_limit) {

@@ -20,6 +20,17 @@ struct OracleOptions {
   bool check_approx_bound = true;
   /// Config the solver ran under (for the message-cap assertion).
   CongestConfig config = {};
+  /// Surviving-subgraph mode: when non-null (size n, nonzero = alive —
+  /// see fault::alive_mask), checks are restricted to the subgraph the
+  /// kill schedule leaves behind. Domination is required of alive nodes
+  /// only, by alive set members only (dead members cover nobody but
+  /// still count toward the recorded weight, which must stay internally
+  /// consistent); hit_round_limit is reported, not failed (a starved
+  /// solver is the raw-vs-repair story, not an oracle bug); the
+  /// analytic approx bound is skipped and the reported OPT/ratio are
+  /// against the exact optimum of the INDUCED alive subgraph, using the
+  /// alive members' weight. Null = classic clean-run checks.
+  const std::vector<std::uint8_t>* alive = nullptr;
 };
 
 struct OracleReport {

@@ -68,8 +68,16 @@ struct SolverInfo {
   MdsResult (*run_on)(Network&, const SolverParams&);
 };
 
-/// All registered solvers, in theorem order.
+/// All registered solvers, in theorem order. Deliberately excludes the
+/// self-healing variants so exhaustive clean/fault sweeps keep their
+/// cost; see repair_solvers().
 std::span<const SolverInfo> all_solvers();
+
+/// The "<solver>+repair" self-healing variants (src/resilience/repair.hpp):
+/// the base driver followed by the O(1)-round post-kill repair protocol,
+/// with MdsResult's repair columns filled in. find_solver()/solver()
+/// resolve these names too.
+std::span<const SolverInfo> repair_solvers();
 
 /// Registered names, in theorem order.
 std::vector<std::string_view> solver_names();

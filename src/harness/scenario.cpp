@@ -239,6 +239,11 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
        << ", \"duplicated\": " << row.result.stats.duplicated
        << ", \"delayed\": " << row.result.stats.delayed
        << ", \"killed\": " << row.result.stats.killed
+       << ", \"hit_round_limit\": "
+       << (row.result.stats.hit_round_limit ? "true" : "false")
+       << ", \"repair_rounds\": " << row.result.repair_rounds
+       << ", \"repaired_nodes\": " << row.result.repaired_nodes
+       << ", \"post_repair_weight\": " << row.result.post_repair_weight
        << ", \"identical\": " << (row.identical ? "true" : "false")
        << ", \"failed\": " << (row.failed ? "true" : "false")
        << ", \"bridged_bytes\": [";

@@ -165,13 +165,18 @@ double median_of(std::vector<double>& samples);
 /// quantity traffic-aware shard placement optimizes. v4 added `seed`
 /// (multi-seed sweeps used to emit indistinguishable rows), the fault
 /// axis (`fault` label plus the dropped/duplicated/delayed/killed
-/// counters), and `failed` (solver threw under tolerate_failures).
-inline constexpr int kScenarioJsonSchemaVersion = 4;
+/// counters), and `failed` (solver threw under tolerate_failures). v5
+/// added `hit_round_limit` (the row's run terminated via the round
+/// budget — under heavy faults that is data, not an error) and the
+/// self-healing columns `repair_rounds`/`repaired_nodes`/
+/// `post_repair_weight` (nonzero only for "<solver>+repair" rows).
+inline constexpr int kScenarioJsonSchemaVersion = 5;
 
 /// One JSON object per row, as a JSON array (the exp12 schema):
 /// schema_version/instance/family/n/m/solver/threads/shards/seed/fault/
 /// seconds/repeats/rounds/messages/total_bits/set_size/weight/dropped/
-/// duplicated/delayed/killed/identical/failed/bridged_bytes.
+/// duplicated/delayed/killed/hit_round_limit/repair_rounds/
+/// repaired_nodes/post_repair_weight/identical/failed/bridged_bytes.
 void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows);
 
 }  // namespace arbods::harness

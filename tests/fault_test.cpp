@@ -456,7 +456,7 @@ TEST(FaultyNetwork, FaultCountersSumConsistentlyAcrossPhases) {
 
 // ------------------------------------------------------ scenario layer
 
-TEST(FaultyScenario, FaultAxisStampsRowsAndSchemaV4Json) {
+TEST(FaultyScenario, FaultAxisStampsRowsAndSchemaJson) {
   const auto corpus = harness::small_corpus(9);
   harness::ScenarioSpec spec;
   spec.solvers = {{"greedy-threshold", std::nullopt, ""}};
@@ -489,7 +489,7 @@ TEST(FaultyScenario, FaultAxisStampsRowsAndSchemaV4Json) {
   std::ostringstream os;
   harness::write_scenario_json(os, rows);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 8"), std::string::npos);
   EXPECT_NE(json.find("\"fault\": \"lossy\""), std::string::npos);

@@ -22,10 +22,13 @@ For every matched row:
     fields that only exist from a later schema on are compared the same
     way when BOTH rows carry them, so older baselines still match on the
     shared counters: `bridged_bytes` (per-boundary bridge volume, v3),
-    and the v4 fault axis — the `dropped` / `duplicated` / `delayed` /
-    `killed` counters and the `failed` flag. A mismatch prints a
-    per-field diff table (baseline vs fresh vs delta) so the failure is
-    diagnosable from the CI log alone;
+    the v4 fault axis — the `dropped` / `duplicated` / `delayed` /
+    `killed` counters and the `failed` flag — and the v5 self-healing
+    columns (`hit_round_limit`, `repair_rounds`, `repaired_nodes`,
+    `post_repair_weight`). Columns present in only one file are listed
+    in a one-line notice and skipped. A mismatch prints a per-field diff
+    table (baseline vs fresh vs delta) so the failure is diagnosable
+    from the CI log alone;
   * the `identical` determinism verdict must be true in the fresh run.
 
 Rows only present in the fresh file (new instances, new fault levels)
@@ -144,10 +147,30 @@ def main():
     counters = ("n", "m", "rounds", "messages", "total_bits", "set_size",
                 "weight")
     # Deterministic but schema-gated: compared exactly when both sides
-    # carry the field (bridged_bytes from v3; the fault axis from v4),
-    # ignored across schema versions.
+    # carry the field (bridged_bytes from v3; the fault axis from v4;
+    # hit_round_limit and the repair columns from v5), ignored across
+    # schema versions.
     optional_counters = ("bridged_bytes", "dropped", "duplicated",
-                         "delayed", "killed", "failed")
+                         "delayed", "killed", "failed", "hit_round_limit",
+                         "repair_rounds", "repaired_nodes",
+                         "post_repair_weight")
+
+    # One-line schema-drift notice: columns only one side carries are
+    # skipped by the both-sides rule above — say so instead of silently
+    # narrowing the comparison.
+    baseline_cols = set().union(*(r.keys() for r in baseline_rows)) \
+        if baseline_rows else set()
+    fresh_cols = set().union(*(r.keys() for r in fresh_rows)) \
+        if fresh_rows else set()
+    only_fresh = sorted(fresh_cols - baseline_cols)
+    only_baseline = sorted(baseline_cols - fresh_cols)
+    if only_fresh:
+        print(f"note: columns only in fresh (not compared): "
+              f"{', '.join(only_fresh)}")
+    if only_baseline:
+        print(f"note: columns only in baseline (not compared): "
+              f"{', '.join(only_baseline)}")
+
     failures = 0
     ratios = {}
     for k, base in sorted(baseline.items()):
