@@ -11,7 +11,15 @@
 //   exp12_scaling [--sizes 10000,50000,100000] [--threads 1,2,4,8]
 //                 [--shards 1,2,4] [--solvers greedy-threshold]
 //                 [--families tree,forest2,...]
-//                 [--seed S] [--repeats N] [--smoke]
+//                 [--seed S] [--repeats N] [--pin] [--auto-replan] [--smoke]
+//
+// --pin pins the worker pools to CPUs and turns on shard-affine dispatch
+// + first-touch arena placement; --auto-replan lets ProtocolRunner adopt
+// traffic-refined shard plans at phase boundaries. Both are placement
+// knobs: rows carry `pinned`/`replans` (schema v6) but results stay
+// bit-identical, so the determinism audit covers them too. Pipe one
+// pinned and one unpinned JSON through `compare_bench.py --speedup` to
+// check the "sharding is free" claim per (solver, n, threads).
 //
 // Every (instance, solver) cell is run once per thread count and shard
 // count on the SAME cached instance; the simulator guarantees
@@ -55,7 +63,8 @@ std::vector<int> split_ints(const std::string& csv) {
                "W1,W2,...] [--shards K1,K2,...]\n"
                "                     [--solvers name1,name2,...] [--families "
                "f1,f2,...]\n"
-               "                     [--seed S] [--repeats N] [--smoke]\n";
+               "                     [--seed S] [--repeats N] [--pin] "
+               "[--auto-replan] [--smoke]\n";
   std::exit(2);
 }
 
@@ -69,6 +78,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> families = {"tree", "forest2", "ba3"};
   std::uint64_t seed = 12345;
   int repeats = 1;
+  bool pin = false;
+  bool auto_replan = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
@@ -85,6 +96,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--families")) families = split_list(need("--families"));
     else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
     else if (!std::strcmp(argv[i], "--repeats")) repeats = std::stoi(need("--repeats"));
+    else if (!std::strcmp(argv[i], "--pin")) pin = true;
+    else if (!std::strcmp(argv[i], "--auto-replan")) auto_replan = true;
     else if (!std::strcmp(argv[i], "--smoke")) {
       sizes = {10'000};
       threads = {1, 4};
@@ -101,6 +114,8 @@ int main(int argc, char** argv) {
   spec.seeds = {seed};
   spec.repeats = repeats;
   spec.base_config.seed = seed;
+  spec.base_config.pin_threads = pin;
+  spec.base_config.auto_replan = auto_replan;
   // The JSON only reads scalar fields; don't hold one O(n) certificate
   // per row across a 500k-node sweep.
   spec.keep_certificates = false;

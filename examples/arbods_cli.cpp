@@ -15,6 +15,10 @@
 //             --shards K (simulator shard count; default 1 = single-arena
 //                         Network, K > 1 = ShardedNetwork over K shards;
 //                         results identical for every K)
+//             --pin (pin worker threads to CPUs + shard-affine dispatch;
+//                    placement only, results unchanged)
+//             --auto-replan (adopt traffic-refined shard plans at phase
+//                            boundaries; results unchanged)
 // families:   tree | forest2 | forest5 | grid | planar | ba2 | ba4 | er
 #include <cstring>
 #include <iostream>
@@ -52,7 +56,8 @@ void print_solver_table(std::ostream& os) {
                "grid|planar|ba2|ba4|er --n N)\n"
                "                  [--alpha A] [--eps E] [--t T] [--k K]\n"
                "                  [--weights unit|uniform|powerlaw|degree|"
-               "invdegree] [--seed S] [--threads W] [--shards K]\n";
+               "invdegree] [--seed S] [--threads W] [--shards K]\n"
+               "                  [--pin] [--auto-replan]\n";
   print_solver_table(std::cerr);
   std::exit(2);
 }
@@ -93,6 +98,8 @@ int main(int argc, char** argv) {
   harness::SolverParams params;
   params.alpha = 0;  // 0 = measure below
   std::uint64_t seed = 1;
+  bool pin = false;
+  bool auto_replan = false;
   for (int i = 2; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -112,6 +119,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--seed")) seed = std::stoull(need("--seed"));
     else if (!std::strcmp(argv[i], "--threads")) params.threads = std::stoi(need("--threads"));
     else if (!std::strcmp(argv[i], "--shards")) params.shards = std::stoi(need("--shards"));
+    else if (!std::strcmp(argv[i], "--pin")) pin = true;
+    else if (!std::strcmp(argv[i], "--auto-replan")) auto_replan = true;
     else usage();
   }
 
@@ -153,6 +162,8 @@ int main(int argc, char** argv) {
   spec.skip_inapplicable = false;
   spec.validate = false;  // validated below with an explicit tolerance
   spec.base_config.seed = seed;
+  spec.base_config.pin_threads = pin;
+  spec.base_config.auto_replan = auto_replan;
 
   const std::vector<const harness::CorpusInstance*> instances = {&inst};
   std::vector<harness::ScenarioRow> rows;

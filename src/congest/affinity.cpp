@@ -1,0 +1,75 @@
+#include "congest/affinity.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#if defined(ARBODS_HAVE_NUMA)
+#include <numa.h>
+#include <numaif.h>
+#include <unistd.h>
+
+#include <cstdint>
+#endif
+
+namespace arbods {
+
+bool affinity_supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+int affinity_cpu_count() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+bool pin_thread_to_cpu(std::thread::native_handle_type handle, int cpu) {
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+#else
+  (void)handle;
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool bind_memory_to_cpu(void* ptr, std::size_t bytes, int cpu) {
+#if defined(ARBODS_HAVE_NUMA)
+  if (ptr == nullptr || bytes == 0 || cpu < 0) return false;
+  if (numa_available() < 0) return false;
+  const int node = numa_node_of_cpu(cpu);
+  if (node < 0) return false;
+  // mbind wants page-aligned ranges; round the start up and the end down
+  // so only whole pages fully inside the allocation are advised.
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  const std::uintptr_t p = reinterpret_cast<std::uintptr_t>(ptr);
+  const std::uintptr_t begin =
+      (p + static_cast<std::uintptr_t>(page) - 1) &
+      ~(static_cast<std::uintptr_t>(page) - 1);
+  const std::uintptr_t end =
+      (p + bytes) & ~(static_cast<std::uintptr_t>(page) - 1);
+  if (begin >= end) return false;
+  unsigned long mask[(NUMA_NUM_NODES + 8 * sizeof(unsigned long) - 1) /
+                     (8 * sizeof(unsigned long))] = {};
+  mask[static_cast<std::size_t>(node) / (8 * sizeof(unsigned long))] |=
+      1UL << (static_cast<std::size_t>(node) % (8 * sizeof(unsigned long)));
+  return mbind(reinterpret_cast<void*>(begin), end - begin, MPOL_PREFERRED,
+               mask, NUMA_NUM_NODES, 0) == 0;
+#else
+  (void)ptr;
+  (void)bytes;
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace arbods

@@ -1,0 +1,40 @@
+// Thread- and memory-affinity helpers behind WorkerPool pinning and the
+// sharded facade's locality-aware arena placement.
+//
+// Everything here is best-effort and degrades to a no-op: pinning is a
+// performance knob, never a correctness one (the simulator is
+// bit-identical at every placement), so an unsupported platform, a
+// restricted container, or an unknown CPU count simply leaves threads
+// where the scheduler puts them. Callers can read the returned bools for
+// diagnostics but must not gate behavior on them.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace arbods {
+
+/// True when the platform has a thread-pinning syscall (Linux).
+bool affinity_supported();
+
+/// The CPU count pinning maps workers onto:
+/// std::thread::hardware_concurrency(), which is 0 when the platform
+/// cannot tell. A 0 here disables pinning entirely (WorkerPool documents
+/// this fallback) — there is no safe modulus to place threads with.
+int affinity_cpu_count();
+
+/// Pins one thread to one CPU. Returns true iff the kernel accepted the
+/// mask; false on unsupported platforms or when the syscall is refused
+/// (e.g. a cpuset-restricted container), in which case the thread is
+/// left unpinned.
+bool pin_thread_to_cpu(std::thread::native_handle_type handle, int cpu);
+
+/// Best-effort NUMA placement: advises the kernel to keep the pages of
+/// [ptr, ptr + bytes) on the node owning `cpu` (mbind with
+/// MPOL_PREFERRED over the page-aligned interior). Compiled to a no-op
+/// returning false unless the build enables ARBODS_USE_NUMA and libnuma
+/// is present; first-touch initialization remains the primary placement
+/// mechanism either way.
+bool bind_memory_to_cpu(void* ptr, std::size_t bytes, int cpu);
+
+}  // namespace arbods

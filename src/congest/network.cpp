@@ -153,9 +153,15 @@ Network::Network(const WeightedGraph& wg, CongestConfig config,
   arena_words_ = lane_base_[arcs];
   arena_a_ = std::make_unique_for_overwrite<std::uint64_t[]>(arena_words_);
   arena_b_ = std::make_unique_for_overwrite<std::uint64_t[]>(arena_words_);
-  for (std::size_t l = 0; l < arcs; ++l) {
-    arena_a_[lane_base_[l]] = 0;
-    arena_b_[lane_base_[l]] = 0;
+  // Under defer_first_touch the owning facade zeroes the length words
+  // (and builds the calendars/scratch below) from its own parallel
+  // first-touch dispatch, so the pages land with the worker group that
+  // will run the lanes — not with whichever thread constructs members.
+  if (!slice.defer_first_touch) {
+    for (std::size_t l = 0; l < arcs; ++l) {
+      arena_a_[lane_base_[l]] = 0;
+      arena_b_[lane_base_[l]] = 0;
+    }
   }
   in_arena_ = &arena_a_;
   out_arena_ = &arena_b_;
@@ -170,11 +176,12 @@ Network::Network(const WeightedGraph& wg, CongestConfig config,
   touched_in_.assign(static_cast<std::size_t>(workers), {});
   spills_.assign(static_cast<std::size_t>(workers), WorkerSpill{});
   scratch_.assign(static_cast<std::size_t>(workers), {});
-  for (auto& s : scratch_) s.reserve(std::max<std::size_t>(2 * base_words, 64));
   calendars_.assign(static_cast<std::size_t>(workers), {});
-  for (auto& cal : calendars_) cal.ring.resize(16);
+  if (!slice.defer_first_touch)
+    for (std::size_t w = 0; w < static_cast<std::size_t>(workers); ++w)
+      first_touch_worker_state(w);
   if (!is_shard_member_ && workers > 1)
-    pool_ = std::make_unique<WorkerPool>(workers);
+    pool_ = std::make_unique<WorkerPool>(workers, config_.pin_threads);
 
   active_mark_.assign(ns, 0);
   active_list_.reserve(64);
@@ -185,6 +192,23 @@ Network::Network(const WeightedGraph& wg, CongestConfig config,
     node_rngs_.push_back(base.split(node_begin_ + i));
   rng_image_ = node_rngs_;
   rng_streams_fresh_ = true;
+}
+
+void Network::first_touch_lane_range(std::size_t lane_begin,
+                                     std::size_t lane_end) {
+  for (std::size_t l = lane_begin; l < lane_end; ++l) {
+    arena_a_[lane_base_[l]] = 0;
+    arena_b_[lane_base_[l]] = 0;
+  }
+}
+
+void Network::first_touch_worker_state(std::size_t w) {
+  // Uniform at construction time (the only time this runs); the reserve
+  // is the same warm-start hint the non-deferred constructor applies.
+  const std::size_t base_words =
+      lane_base_.size() > 1 ? lane_base_[1] - lane_base_[0] : 0;
+  scratch_[w].reserve(std::max<std::size_t>(2 * base_words, 64));
+  if (calendars_[w].ring.empty()) calendars_[w].ring.resize(16);
 }
 
 Network::Network(const WeightedGraph& wg, CongestConfig config, FacadeInit)
@@ -200,7 +224,8 @@ Network::Network(const WeightedGraph& wg, CongestConfig config, FacadeInit)
   worker_stats_.assign(static_cast<std::size_t>(workers), WorkerStats{});
   scratch_.assign(static_cast<std::size_t>(workers), {});
   for (auto& s : scratch_) s.reserve(64);
-  if (workers > 1) pool_ = std::make_unique<WorkerPool>(workers);
+  if (workers > 1)
+    pool_ = std::make_unique<WorkerPool>(workers, config_.pin_threads);
   active_list_.reserve(64);
   rng_streams_fresh_ = true;
 }
@@ -612,19 +637,38 @@ void Network::reduce_stats() {
                    "RunStats counter overflow");
 }
 
+bool Network::affine_chunk_bounds(ChunkDomain, std::size_t,
+                                  std::vector<std::size_t>&) {
+  return false;  // plain Networks always use the uniform split
+}
+
 void Network::run_index_chunks(
-    std::size_t count, FunctionRef<void(std::size_t, std::size_t)> chunk_fn) {
+    std::size_t count, FunctionRef<void(std::size_t, std::size_t)> chunk_fn,
+    ChunkDomain domain) {
   if (!pool_) {
     chunk_fn(0, count);
     return;
   }
   const int workers = pool_->num_workers();
+  // Shard-affine dispatch: a derived simulator may substitute its own
+  // contiguous per-worker bounds so each index runs on the worker group
+  // owning its shard's arenas. The assignment is placement only — every
+  // index still runs exactly once — so the uniform fallback and any
+  // affine table produce bit-identical results.
+  const std::size_t* bounds =
+      affine_chunk_bounds(domain, count, chunk_bounds_scratch_)
+          ? chunk_bounds_scratch_.data()
+          : nullptr;
   auto worker_fn = [&](int w) {
     tls_worker = w;
     const std::size_t begin =
-        count * static_cast<std::size_t>(w) / static_cast<std::size_t>(workers);
-    const std::size_t end = count * (static_cast<std::size_t>(w) + 1) /
-                            static_cast<std::size_t>(workers);
+        bounds ? bounds[w]
+               : count * static_cast<std::size_t>(w) /
+                     static_cast<std::size_t>(workers);
+    const std::size_t end =
+        bounds ? bounds[w + 1]
+               : count * (static_cast<std::size_t>(w) + 1) /
+                     static_cast<std::size_t>(workers);
     chunk_fn(begin, end);
     tls_worker = 0;
   };

@@ -58,6 +58,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/function_ref.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
@@ -108,6 +109,24 @@ struct CongestConfig {
   /// drop-probability 1) terminates via PhaseStats::hit_round_limit
   /// instead of spinning out the default million-round budget.
   std::int64_t round_limit = 0;
+  /// Pin the worker-pool threads to CPUs (WorkerPool's affinity policy:
+  /// spawned worker w -> CPU w % count, worker 0 / the calling thread
+  /// never pinned, graceful no-op where unsupported). With shards > 1
+  /// this also turns on shard-affine dispatch: for_nodes /
+  /// for_active_nodes / flip chunks follow the shard->worker-group
+  /// assignment, and member arenas are first-touch-initialized by their
+  /// owning group. Placement only — results are bit-identical either way.
+  bool pin_threads = false;
+  /// Drive enable_traffic_profile -> measured_plan -> adopt_plan
+  /// automatically at phase boundaries (ProtocolRunner honors it on the
+  /// sharded simulator; a plain Network ignores it). Deterministic: the
+  /// measured profile is a pure function of the algorithm's traffic, so
+  /// every width and shard count replans identically (tested).
+  bool auto_replan = false;
+  /// Auto-replan hysteresis: adopt a refined plan only when its measured
+  /// cut volume is below (1 - replan_hysteresis) * the current plan's,
+  /// so cheap phases don't thrash the member arenas for marginal wins.
+  double replan_hysteresis = 0.05;
   /// Run every phase through the reliable-delivery adapter
   /// (resilience::ReliablePhase): exactly-once, sender-ordered delivery
   /// over drop/duplicate/reorder/delay faults. Honored by ProtocolRunner;
@@ -213,6 +232,7 @@ class InboxView {
     using difference_type = std::ptrdiff_t;
 
     MessageView operator*() const {
+      ARBODS_DCHECK(lane_ != view_->end_lane_);
       return MessageView(view_->arena_ + view_->lane_base_[lane_] + 1 + word_,
                          view_->model_, view_->quantized_);
     }
@@ -254,7 +274,11 @@ class InboxView {
   const_iterator end() const { return const_iterator(this, end_lane_); }
   bool empty() const { return begin() == end(); }
   /// First delivered message; the inbox must be non-empty.
-  MessageView front() const { return *begin(); }
+  MessageView front() const {
+    const const_iterator it = begin();
+    ARBODS_DCHECK(!(it == end()));
+    return *it;
+  }
   /// Number of delivered messages (O(degree + messages)).
   std::size_t size() const;
 
@@ -341,7 +365,7 @@ class Network {
       for (std::size_t v = begin; v < end; ++v)
         fn(static_cast<NodeId>(v));
     };
-    run_index_chunks(num_nodes(), chunk);
+    run_index_chunks(num_nodes(), chunk, ChunkDomain::kNodes);
   }
 
   /// Runs fn(v) for every *active* node: the nodes that received at least
@@ -358,7 +382,7 @@ class Network {
     auto chunk = [&fn, nodes](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) fn(nodes[i]);
     };
-    run_index_chunks(active_list_.size(), chunk);
+    run_index_chunks(active_list_.size(), chunk, ChunkDomain::kActive);
   }
 
   /// Schedules v to be active next round even if no message arrives. May
@@ -431,6 +455,17 @@ class Network {
   /// "arena storage is constructed exactly once per Network".
   virtual std::size_t arena_words() const { return arena_words_; }
 
+  /// The sharded engine behind this Network's deliveries, unwrapping
+  /// decorators: the ShardedNetwork facade returns itself, the fault
+  /// decorator forwards to its inner engine, a plain single-arena
+  /// Network returns nullptr. The seam ProtocolRunner's auto-replanning
+  /// and the scenario harness reach the plan/traffic-profile surface
+  /// through without knowing the decorator stack.
+  virtual shard::ShardedNetwork* sharded_core() { return nullptr; }
+  const shard::ShardedNetwork* sharded_core() const {
+    return const_cast<Network*>(this)->sharded_core();
+  }
+
  protected:
   /// Tag for the sharded-facade constructor: topology indices, worker
   /// pool, and per-worker encode scratch only — no lane arenas, RNG
@@ -438,6 +473,17 @@ class Network {
   /// per-shard member Networks the facade owns).
   struct FacadeInit {};
   Network(const WeightedGraph& wg, CongestConfig config, FacadeInit);
+
+  /// What an index range passed to run_index_chunks indexes, so a
+  /// derived simulator with a shard-affine dispatch table can map the
+  /// range onto its shard->worker-group assignment (an index count alone
+  /// is ambiguous — an all-active round has as many active indices as
+  /// nodes).
+  enum class ChunkDomain : std::uint8_t {
+    kNodes,   // global node ids [0, num_nodes())
+    kActive,  // positions in the current active_list_
+    kShards,  // destination shards of a facade flip [0, K)
+  };
 
   /// The pool dispatch behind for_nodes/for_active_nodes, exposed to
   /// derived simulators for flip-time work: partitions [0, count) into
@@ -448,8 +494,17 @@ class Network {
   /// Serial (inline, slot 0) when the instance owns no pool. Not
   /// reentrant — must be called from the driver thread between parallel
   /// sections, which is exactly where a flip runs.
+  ///
+  /// The default split is uniform (count * w / workers). A derived
+  /// simulator may override affine_chunk_bounds to substitute its own
+  /// contiguous per-worker bounds for a domain — placement only: every
+  /// index still runs exactly once, on exactly one worker, and the
+  /// locality contract makes the assignment unobservable, so results
+  /// stay bit-identical under any bounds (the determinism suite pins
+  /// this with affinity enabled).
   void run_index_chunks(std::size_t count,
-                        FunctionRef<void(std::size_t, std::size_t)> chunk_fn);
+                        FunctionRef<void(std::size_t, std::size_t)> chunk_fn,
+                        ChunkDomain domain = ChunkDomain::kNodes);
 
   /// Worker slot the calling thread accounts to: the executing worker's
   /// index inside a run_index_chunks section, 0 outside one.
@@ -474,6 +529,13 @@ class Network {
     NodeId node_begin;
     NodeId node_end;
     int workers;
+    /// Skip the serial lane-length/calendar/scratch initialization in the
+    /// constructor; the owner must then run first_touch_lane_range /
+    /// first_touch_worker_state over the whole member before first use.
+    /// The sharded facade sets this under pin_threads so each arena page
+    /// is first touched — and so physically placed — by the worker group
+    /// that owns it, instead of by whichever thread built the members.
+    bool defer_first_touch = false;
   };
   Network(const WeightedGraph& wg, CongestConfig config, SliceInit slice);
 
@@ -523,6 +585,21 @@ class Network {
   /// delivery composes with sharding without knowing the layout.
   virtual void deposit_wire(EdgeSlot glane, const std::uint64_t* words,
                             std::size_t nwords);
+  /// Shard-affine dispatch hook for run_index_chunks: fill `bounds`
+  /// (resized to workers + 1, bounds[0] = 0, bounds[workers] = count,
+  /// non-decreasing) and return true to replace the uniform split for
+  /// this call. The base simulator always declines; the sharded facade
+  /// answers when pinning enabled its dispatch tables and `count`
+  /// matches the domain's size.
+  virtual bool affine_chunk_bounds(ChunkDomain domain, std::size_t count,
+                                   std::vector<std::size_t>& bounds);
+  /// Deferred-construction halves of SliceInit::defer_first_touch: zero
+  /// the length words of lanes [lane_begin, lane_end) in both arenas /
+  /// initialize worker w's calendar ring and encode scratch. Idempotent
+  /// on a fresh member; called by the owning facade from inside its
+  /// first-touch dispatch so the touching worker places the pages.
+  void first_touch_lane_range(std::size_t lane_begin, std::size_t lane_end);
+  void first_touch_worker_state(std::size_t w);
   void merge_spills_and_grow();
   struct WorkerCalendar;
   void arm_into(WorkerCalendar& cal, NodeId v, std::int64_t round);
@@ -632,6 +709,10 @@ class Network {
   std::size_t active_highwater_ = 0;
 
   std::vector<WorkerStats> worker_stats_;
+  // Reused bounds buffer for affine run_index_chunks dispatch (driver
+  // thread only, like the dispatch itself), so an affine round allocates
+  // nothing once warm.
+  std::vector<std::size_t> chunk_bounds_scratch_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<Rng> node_rngs_;
   // Untouched seed-derived copies of node_rngs_, built once at

@@ -26,9 +26,17 @@ void TreeMds::process_round(Network& net) {
       in_set_[v] = 1;  // isolated: nobody else can dominate it
     } else {
       // Single neighbor; join only if it is also a leaf and we tie-break.
-      const MessageView m = net.inbox(v).front();
-      ARBODS_CHECK(m.tag() == kTagDegree);
-      if (m.level_at(1) == 1 && v < m.sender()) in_set_[v] = 1;
+      // Under a faulty network the neighbor's announcement may have been
+      // dropped or delayed past this round — with no information the leaf
+      // joins, which keeps it covered no matter what the neighbor decides.
+      const InboxView inbox = net.inbox(v);
+      if (inbox.empty()) {
+        in_set_[v] = 1;
+      } else {
+        const MessageView m = inbox.front();
+        ARBODS_CHECK(m.tag() == kTagDegree);
+        if (m.level_at(1) == 1 && v < m.sender()) in_set_[v] = 1;
+      }
     }
   });
   stage_ = Stage::kDone;

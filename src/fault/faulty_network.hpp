@@ -79,6 +79,15 @@ class FaultyNetwork final : public Network {
   }
   std::size_t arena_words() const override { return inner_->arena_words(); }
   void reset_for_reuse() override;
+  /// Unwraps to the inner sharded engine (nullptr when the decorator
+  /// runs over a plain Network), so phase-boundary auto-replanning and
+  /// harness reporting compose with fault injection. Note the fault
+  /// path delivers via deposit_wire, which bypasses the facade's send
+  /// accounting: under this decorator the traffic profile stays empty
+  /// and measured_plan() reduces to the structural refiner.
+  shard::ShardedNetwork* sharded_core() override {
+    return inner_->sharded_core();
+  }
 
  private:
   /// One disturbed record parked until its arrival round. The sort key

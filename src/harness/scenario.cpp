@@ -174,6 +174,7 @@ std::vector<ScenarioRow> run_scenario(
           row.result = std::move(res);
           row.identical = identical;
           row.failed = failed;
+          row.pinned = cfg.pin_threads;
           // Bridge counters reset at each run() start, so this reads the
           // final repeat's per-boundary volume — deterministic, hence
           // identical across repeats anyway. A FaultyNetwork over shards
@@ -181,6 +182,11 @@ std::vector<ScenarioRow> run_scenario(
           if (const auto* sharded =
                   dynamic_cast<const shard::ShardedNetwork*>(&net))
             row.bridged_bytes = sharded->boundary_bridged_bytes();
+          // Replans, by contrast, come through the decorator-unwrapping
+          // seam: a faulty sharded cell with auto_replan still reports
+          // its inner engine's plan adoptions.
+          if (const auto* core = net.sharded_core())
+            row.replans = core->replans();
           rows.push_back(std::move(row));
         }
         }
@@ -244,6 +250,8 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
        << ", \"repair_rounds\": " << row.result.repair_rounds
        << ", \"repaired_nodes\": " << row.result.repaired_nodes
        << ", \"post_repair_weight\": " << row.result.post_repair_weight
+       << ", \"pinned\": " << (row.pinned ? "true" : "false")
+       << ", \"replans\": " << row.replans
        << ", \"identical\": " << (row.identical ? "true" : "false")
        << ", \"failed\": " << (row.failed ? "true" : "false")
        << ", \"bridged_bytes\": [";

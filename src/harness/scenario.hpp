@@ -114,6 +114,16 @@ struct ScenarioRow {
   /// the cell's final run (ShardedNetwork::boundary_bridged_bytes).
   /// Empty when shards == 1 — a plain Network has no bridge.
   std::vector<std::int64_t> bridged_bytes;
+  /// The cell ran with CongestConfig::pin_threads (worker threads pinned
+  /// to CPUs, shard-affine dispatch) — placement metadata, never part of
+  /// the row key: pinning cannot change results, only timing.
+  bool pinned = false;
+  /// Shard plans adopted during the cell's final run (phase-boundary
+  /// auto-replans under CongestConfig::auto_replan; 0 when unsharded or
+  /// replanning off). Deterministic across widths and repeats — on a
+  /// pooled Network later repeats start from the already-refined plan,
+  /// so a converged cell reports 0 here.
+  int replans = 0;
 };
 
 /// Pools Networks keyed by (graph, config): every run that shares the
@@ -169,14 +179,20 @@ double median_of(std::vector<double>& samples);
 /// added `hit_round_limit` (the row's run terminated via the round
 /// budget — under heavy faults that is data, not an error) and the
 /// self-healing columns `repair_rounds`/`repaired_nodes`/
-/// `post_repair_weight` (nonzero only for "<solver>+repair" rows).
-inline constexpr int kScenarioJsonSchemaVersion = 5;
+/// `post_repair_weight` (nonzero only for "<solver>+repair" rows). v6
+/// added `pinned` (the cell ran with worker threads pinned and
+/// shard-affine dispatch) and `replans` (phase-boundary auto-replans in
+/// the final run); compare_bench.py compares optional counters only
+/// when both sides carry them, so v5 and v6 artifacts keep matching on
+/// their shared fields.
+inline constexpr int kScenarioJsonSchemaVersion = 6;
 
 /// One JSON object per row, as a JSON array (the exp12 schema):
 /// schema_version/instance/family/n/m/solver/threads/shards/seed/fault/
 /// seconds/repeats/rounds/messages/total_bits/set_size/weight/dropped/
 /// duplicated/delayed/killed/hit_round_limit/repair_rounds/
-/// repaired_nodes/post_repair_weight/identical/failed/bridged_bytes.
+/// repaired_nodes/post_repair_weight/pinned/replans/identical/failed/
+/// bridged_bytes.
 void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows);
 
 }  // namespace arbods::harness

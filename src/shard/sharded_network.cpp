@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/shrink.hpp"
+#include "congest/affinity.hpp"
 
 namespace arbods::shard {
 
@@ -30,6 +31,10 @@ void ShardedNetwork::build_members() {
                    "shard plan does not cover [0, " << n << ")");
   const std::size_t k = static_cast<std::size_t>(plan_.num_shards());
 
+  // Shard-affine mode: dispatch tables plus worker-group first touch.
+  // Only worth the machinery when there is a real pool to place work on.
+  const bool affine = config_.pin_threads && workers_ > 1;
+
   shards_.clear();
   node_shard_.assign(n, 0);
   shard_lane_begin_.assign(k + 1, 0);
@@ -41,12 +46,192 @@ void ShardedNetwork::build_members() {
       node_shard_[v] = static_cast<std::uint32_t>(s);
     shard_lane_begin_[s] = offsets_[begin];
     shards_.emplace_back(new Network(
-        *wg_, config_, SliceInit{begin, end, static_cast<int>(workers_)}));
+        *wg_, config_,
+        SliceInit{begin, end, static_cast<int>(workers_), affine}));
   }
   shard_lane_begin_[k] = offsets_[n];
   relay_.assign(k * k * workers_, RelaySegment{});
   pair_bridged_words_.assign(k * k, 0);
   bridge_records_ = 0;
+
+  if (affine) {
+    build_affine_tables();
+    first_touch_members();
+  } else {
+    affine_node_bounds_.clear();
+    affine_flip_bounds_.clear();
+    shard_leader_.clear();
+  }
+}
+
+void ShardedNetwork::build_affine_tables() {
+  const NodeId n = wg_->graph().num_nodes();
+  const std::size_t k = shards_.size();
+  const std::size_t W = workers_;
+  const std::size_t total_arcs = offsets_[n];
+
+  // Group starts: worker gw[s] is the first worker of shard s's group.
+  // W >= K: arc-proportional starts, clamped so every shard keeps at
+  // least one worker. W < K: workers own contiguous runs of whole shards
+  // (gw snaps each worker boundary to the next shard boundary), so a
+  // shard's arenas are still touched by exactly one worker.
+  std::vector<std::size_t> gw(k + 1, 0);
+  gw[k] = W;
+  if (W >= k) {
+    for (std::size_t s = 1; s < k; ++s) {
+      const std::size_t prefix = offsets_[plan_.shard_begin(static_cast<int>(s))];
+      std::size_t ideal = total_arcs > 0 ? W * prefix / total_arcs : W * s / k;
+      ideal = std::max(ideal, gw[s - 1] + 1);
+      ideal = std::min(ideal, W - (k - s));
+      gw[s] = ideal;
+    }
+  } else {
+    // Invert: worker j starts at the shard whose arc prefix first
+    // reaches j's share; monotone and start-anchored so every worker's
+    // run is well-formed (possibly empty).
+    std::vector<std::size_t> worker_first_shard(W + 1, k);
+    worker_first_shard[0] = 0;
+    for (std::size_t j = 1; j < W; ++j) {
+      const std::size_t target = total_arcs > 0 ? total_arcs * j / W
+                                                : k * j / W;
+      std::size_t s = worker_first_shard[j - 1];
+      while (s < k &&
+             (total_arcs > 0
+                  ? offsets_[plan_.shard_begin(static_cast<int>(s))] < target
+                  : s < target))
+        ++s;
+      worker_first_shard[j] = s;
+    }
+    for (std::size_t s = 1; s < k; ++s) {
+      // gw[s] = the worker owning shard s (last j with first_shard <= s).
+      std::size_t j = gw[s - 1];
+      while (j + 1 < W && worker_first_shard[j + 1] <= s) ++j;
+      gw[s] = j;
+    }
+  }
+
+  shard_leader_.assign(k, 0);
+  for (std::size_t s = 0; s < k; ++s)
+    shard_leader_[s] = static_cast<int>(gw[s]);
+
+  // Flip bounds: destination shard s's merge+flip task runs on its group
+  // leader gw[s]. bounds[w] = #shards with leader < w — each shard lands
+  // in exactly worker gw[s]'s chunk.
+  affine_flip_bounds_.assign(W + 1, 0);
+  for (std::size_t w = 1; w <= W; ++w) {
+    std::size_t cnt = 0;
+    while (cnt < k && gw[cnt] < w) ++cnt;
+    affine_flip_bounds_[w] = cnt;
+  }
+
+  // Node bounds: within shard s, its group's workers split the shard's
+  // nodes by arc share (binary search over the global CSR offsets); at
+  // group boundaries the bound is the shard boundary itself, so each
+  // worker's range never crosses into another group's shard.
+  affine_node_bounds_.assign(W + 1, 0);
+  affine_node_bounds_[W] = n;
+  for (std::size_t s = 0; s < k; ++s) {
+    const NodeId sbegin = plan_.shard_begin(static_cast<int>(s));
+    const NodeId send = plan_.shard_end(static_cast<int>(s));
+    const std::size_t a0 = offsets_[sbegin];
+    const std::size_t a1 = offsets_[send];
+    const std::size_t g = gw[s + 1] > gw[s] ? gw[s + 1] - gw[s] : 0;
+    if (g == 0) continue;  // W < K: this shard shares its owner's range
+    for (std::size_t t = 0; t < g; ++t) {
+      const std::size_t w = gw[s] + t;
+      if (t == 0) {
+        affine_node_bounds_[w] = sbegin;
+        continue;
+      }
+      const std::size_t target = a0 + (a1 - a0) * t / g;
+      const auto it = std::lower_bound(offsets_.begin() + sbegin,
+                                       offsets_.begin() + send, target);
+      affine_node_bounds_[w] = std::max<std::size_t>(
+          static_cast<std::size_t>(it - offsets_.begin()),
+          affine_node_bounds_[w - 1]);
+    }
+  }
+  // W < K: a worker owning several shards has only its first shard's
+  // begin written; carry bounds forward so unwritten slots inherit the
+  // run structure (bounds stay non-decreasing, covering [0, n)).
+  for (std::size_t w = 1; w < W; ++w)
+    affine_node_bounds_[w] =
+        std::max(affine_node_bounds_[w], affine_node_bounds_[w - 1]);
+}
+
+void ShardedNetwork::first_touch_members() {
+  // Deferred member initialization (SliceInit::defer_first_touch), run
+  // as one affine dispatch so every arena length word, calendar ring,
+  // and scratch buffer is first written — and its pages physically
+  // placed — by the worker group that owns it in steady state. Each
+  // worker touches only its own node range's lanes and its own slot of
+  // every member, so nothing races.
+  const NodeId n = wg_->graph().num_nodes();
+  run_index_chunks(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        const std::size_t w = worker_slot();
+        for (auto& sh : shards_) sh->first_touch_worker_state(w);
+        while (begin < end) {
+          Network& member = *shards_[node_shard_[begin]];
+          const std::size_t stop = std::min<std::size_t>(
+              end, member.node_begin_ + member.active_mark_.size());
+          member.first_touch_lane_range(
+              member.offsets_[begin - member.node_begin_],
+              member.offsets_[stop - member.node_begin_]);
+          begin = stop;
+        }
+      },
+      ChunkDomain::kNodes);
+
+  // Optional explicit NUMA advice on top of first touch (no-op unless
+  // built with ARBODS_USE_NUMA): keep each member's arenas on the node
+  // of its group leader's CPU.
+  const int cpus = affinity_cpu_count();
+  if (cpus > 0) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Network& member = *shards_[s];
+      const int cpu = shard_leader_[s] % cpus;
+      bind_memory_to_cpu(member.arena_a_.get(),
+                         member.arena_words_ * sizeof(std::uint64_t), cpu);
+      bind_memory_to_cpu(member.arena_b_.get(),
+                         member.arena_words_ * sizeof(std::uint64_t), cpu);
+    }
+  }
+}
+
+bool ShardedNetwork::affine_chunk_bounds(ChunkDomain domain, std::size_t count,
+                                         std::vector<std::size_t>& bounds) {
+  if (affine_node_bounds_.empty()) return false;
+  const std::size_t W = workers_;
+  switch (domain) {
+    case ChunkDomain::kNodes:
+      if (count != static_cast<std::size_t>(num_nodes())) return false;
+      bounds.assign(affine_node_bounds_.begin(), affine_node_bounds_.end());
+      return true;
+    case ChunkDomain::kActive: {
+      // Project the node bounds onto the (ascending) active list: each
+      // worker visits exactly the active nodes inside its node range.
+      bounds.resize(W + 1);
+      bounds[0] = 0;
+      bounds[W] = count;
+      for (std::size_t w = 1; w < W; ++w) {
+        const NodeId cut = static_cast<NodeId>(affine_node_bounds_[w]);
+        bounds[w] = static_cast<std::size_t>(
+            std::lower_bound(active_list_.begin(),
+                             active_list_.begin() +
+                                 static_cast<std::ptrdiff_t>(count),
+                             cut) -
+            active_list_.begin());
+      }
+      return true;
+    }
+    case ChunkDomain::kShards:
+      if (count != shards_.size()) return false;
+      bounds.assign(affine_flip_bounds_.begin(), affine_flip_bounds_.end());
+      return true;
+  }
+  return false;
 }
 
 void ShardedNetwork::adopt_plan(ShardPlan plan) {
@@ -61,6 +246,7 @@ void ShardedNetwork::adopt_plan(ShardPlan plan) {
   active_list_.clear();
   active_dirty_ = false;
   rng_streams_fresh_ = true;
+  ++replans_;  // per-run tally (reset_for_reuse zeroes it); see replans()
 }
 
 ShardedNetwork::~ShardedNetwork() = default;
@@ -206,35 +392,40 @@ void ShardedNetwork::flip_buffers() {
   // buffers), and the bridge tallies land in per-worker padded slots or
   // per-destination cells, folded serially below — nothing races.
   const std::size_t k = shards_.size();
-  run_index_chunks(k, [&](std::size_t begin, std::size_t end) {
-    const std::size_t wslot = worker_slot();
-    std::int64_t records = 0;
-    for (std::size_t dst = begin; dst < end; ++dst) {
-      Network& member = *shards_[dst];
-      for (std::size_t src = 0; src < k; ++src) {
-        if (src == dst) continue;
-        for (std::size_t w = 0; w < workers_; ++w) {
-          RelaySegment& seg = segment(static_cast<std::uint32_t>(src),
-                                      static_cast<std::uint32_t>(dst), w);
-          if (seg.recs.empty()) continue;
-          seg.words_highwater =
-              std::max(seg.words_highwater, seg.words.size());
-          seg.recs_highwater = std::max(seg.recs_highwater, seg.recs.size());
-          for (const RelayRec& r : seg.recs)
-            member.deposit_words(wslot, r.lane, seg.words.data() + r.begin,
-                                 r.end - r.begin);
-          records += static_cast<std::int64_t>(seg.recs.size());
-          pair_bridged_words_[src * k + dst] +=
-              static_cast<std::int64_t>(seg.words.size());
-          seg.words.clear();
-          seg.recs.clear();
+  run_index_chunks(
+      k,
+      [&](std::size_t begin, std::size_t end) {
+        const std::size_t wslot = worker_slot();
+        std::int64_t records = 0;
+        for (std::size_t dst = begin; dst < end; ++dst) {
+          Network& member = *shards_[dst];
+          for (std::size_t src = 0; src < k; ++src) {
+            if (src == dst) continue;
+            for (std::size_t w = 0; w < workers_; ++w) {
+              RelaySegment& seg = segment(static_cast<std::uint32_t>(src),
+                                          static_cast<std::uint32_t>(dst), w);
+              if (seg.recs.empty()) continue;
+              seg.words_highwater =
+                  std::max(seg.words_highwater, seg.words.size());
+              seg.recs_highwater =
+                  std::max(seg.recs_highwater, seg.recs.size());
+              for (const RelayRec& r : seg.recs)
+                member.deposit_words(wslot, r.lane,
+                                     seg.words.data() + r.begin,
+                                     r.end - r.begin);
+              records += static_cast<std::int64_t>(seg.recs.size());
+              pair_bridged_words_[src * k + dst] +=
+                  static_cast<std::int64_t>(seg.words.size());
+              seg.words.clear();
+              seg.recs.clear();
+            }
+          }
+          member.flip_buffers();
+          member.round_ = round_ + 1;  // run_phase advances the facade next
         }
-      }
-      member.flip_buffers();
-      member.round_ = round_ + 1;  // the caller (run_phase) advances next
-    }
-    bridge_slots_[wslot].records += records;
-  });
+        bridge_slots_[wslot].records += records;
+      },
+      ChunkDomain::kShards);
   for (BridgeSlot& slot : bridge_slots_) {
     bridge_records_ += slot.records;
     slot.records = 0;
@@ -292,6 +483,7 @@ void ShardedNetwork::reset_for_reuse() {
   std::fill(pair_bridged_words_.begin(), pair_bridged_words_.end(), 0);
   bridge_records_ = 0;
   std::fill(lane_traffic_.begin(), lane_traffic_.end(), 0);
+  replans_ = 0;
 }
 
 void ShardedNetwork::reseed_node_rngs() {

@@ -133,6 +133,22 @@ class ShardedNetwork final : public Network {
   /// changes bridge volume, never bits. Bridge counters restart at 0.
   void adopt_plan(ShardPlan plan);
 
+  /// Plans adopted (adopt_plan calls) since the last reset_for_reuse —
+  /// i.e. during the current run when driven through run()/run_phase().
+  /// With CongestConfig::auto_replan this counts the phase-boundary
+  /// replans ProtocolRunner performed; deterministic across widths and
+  /// shard counts because the traffic profile it keys on is.
+  int replans() const { return replans_; }
+
+  /// Leader worker of shard s's worker group under shard-affine dispatch
+  /// (the worker that runs s's flip/merge task); 0 when affinity is off.
+  /// Diagnostics/tests.
+  int shard_leader(int s) const {
+    return affine_node_bounds_.empty() ? 0 : shard_leader_[s];
+  }
+
+  shard::ShardedNetwork* sharded_core() override { return this; }
+
   /// Capacity (in elements) of one relay segment's word / record
   /// buffers. Diagnostics for the shrink-policy regression tests: after
   /// shrink_scratch a quiet segment must not retain capacity sized for
@@ -186,11 +202,24 @@ class ShardedNetwork final : public Network {
   void shrink_scratch() override;
   void deposit_wire(std::uint32_t glane, const std::uint64_t* words,
                     std::size_t nwords) override;
+  bool affine_chunk_bounds(ChunkDomain domain, std::size_t count,
+                           std::vector<std::size_t>& bounds) override;
 
   /// (Re)builds the per-shard members, relay segments, and node/lane
   /// maps from plan_ (constructor + adopt_plan). Bridge counters and
-  /// per-segment high-waters restart at zero.
+  /// per-segment high-waters restart at zero. Under pin_threads this
+  /// also (re)builds the shard-affine dispatch tables and runs the
+  /// deferred parallel first-touch pass over the fresh member arenas.
   void build_members();
+  /// Shard->worker-group assignment: fills affine_node_bounds_ (per-
+  /// worker contiguous node ranges, arc-balanced and snapped to shard
+  /// boundaries so every shard is owned by a contiguous worker group),
+  /// affine_flip_bounds_ (each shard's flip task on its group leader),
+  /// and shard_leader_. Pure function of (plan, offsets, workers).
+  void build_affine_tables();
+  /// The deferred parallel first-touch pass over freshly built members
+  /// (plus the optional explicit NUMA binding of their arenas).
+  void first_touch_members();
   /// Folds a segment's pending sizes into its high-water marks and the
   /// bridged-volume matrix, then discards the contents — records
   /// dropped undelivered at a phase/reuse boundary still count toward
@@ -233,6 +262,17 @@ class ShardedNetwork final : public Network {
   /// Wire bits per receiver-side arc; empty until
   /// enable_traffic_profile(). Single writer per lane per round.
   std::vector<std::uint64_t> lane_traffic_;
+  /// Shard-affine dispatch tables (empty = affinity off, uniform
+  /// chunking). affine_node_bounds_[w]..[w+1] is worker w's global node
+  /// range — arc-balanced, snapped to shard boundaries so each shard's
+  /// nodes run on one contiguous worker group; affine_flip_bounds_ maps
+  /// destination shards of the flip onto the groups' leader workers;
+  /// shard_leader_[s] is that leader.
+  std::vector<std::size_t> affine_node_bounds_;
+  std::vector<std::size_t> affine_flip_bounds_;
+  std::vector<int> shard_leader_;
+  /// adopt_plan calls since the last reset_for_reuse (see replans()).
+  int replans_ = 0;
 };
 
 /// The construction point the harness layers use: a plain Network when

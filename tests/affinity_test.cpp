@@ -1,0 +1,231 @@
+// Shard-affine execution tests: WorkerPool pinning semantics (worker 0
+// never pinned, modulo wrap under over-subscription, unknown-CPU-count
+// fallback), bit-identity of pinned + shard-affine runs against plain
+// ones, phase-boundary auto-replanning bit-identity at every width and
+// shard count, and a scenario where a replan demonstrably fires (skewed
+// traffic on a deliberately cut-heavy boundary).
+//
+// Width/shard knobs follow the determinism suite: ARBODS_TEST_THREADS
+// (default 8) and ARBODS_TEST_SHARDS (default 2, CI runs 4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "congest/affinity.hpp"
+#include "congest/worker_pool.hpp"
+#include "gen/classic.hpp"
+#include "harness/corpus.hpp"
+#include "harness/oracle.hpp"
+#include "harness/registry.hpp"
+#include "protocol/runner.hpp"
+#include "shard/partition.hpp"
+#include "shard/sharded_network.hpp"
+
+namespace arbods {
+namespace {
+
+int test_thread_width() {
+  if (const char* env = std::getenv("ARBODS_TEST_THREADS")) {
+    const int w = std::atoi(env);
+    if (w >= 1) return w;
+  }
+  return 8;
+}
+
+int test_shard_count() {
+  if (const char* env = std::getenv("ARBODS_TEST_SHARDS")) {
+    const int k = std::atoi(env);
+    if (k >= 1) return k;
+  }
+  return 2;
+}
+
+// ------------------------------------------------------- WorkerPool pinning
+
+TEST(WorkerPoolAffinity, PinCpuWrapsModuloTheCpuCount) {
+  // Spawned worker w targets CPU w % cpus: over-subscribed pools share
+  // cores round-robin instead of producing out-of-range masks.
+  EXPECT_EQ(WorkerPool::pin_cpu(1, 4), 1);
+  EXPECT_EQ(WorkerPool::pin_cpu(3, 4), 3);
+  EXPECT_EQ(WorkerPool::pin_cpu(4, 4), 0);
+  EXPECT_EQ(WorkerPool::pin_cpu(5, 4), 1);
+  EXPECT_EQ(WorkerPool::pin_cpu(7, 1), 0);  // single-CPU box: all on CPU 0
+}
+
+TEST(WorkerPoolAffinity, CpuCountComesFromHardwareConcurrency) {
+  // 0 means "unknown" and disables pinning; it is never negative.
+  EXPECT_GE(affinity_cpu_count(), 0);
+}
+
+TEST(WorkerPoolAffinity, PinnedWorkerCountSemantics) {
+  // A serial pool is just the calling thread, which is NEVER pinned —
+  // the driver may be a test runner's thread.
+  WorkerPool serial(1, /*pin_threads=*/true);
+  EXPECT_EQ(serial.pinned_workers(), 0);
+
+  // Without pin_threads the count stays zero regardless of platform.
+  WorkerPool unpinned(4, /*pin_threads=*/false);
+  EXPECT_EQ(unpinned.pinned_workers(), 0);
+
+  // A pinned pool pins at most its SPAWNED workers (num_workers - 1);
+  // where the platform supports affinity and the CPU count is known,
+  // every spawned thread should pin (possibly all to CPU 0 on a 1-CPU
+  // container — still a valid mask).
+  WorkerPool pinned(4, /*pin_threads=*/true);
+  EXPECT_GE(pinned.pinned_workers(), 0);
+  EXPECT_LE(pinned.pinned_workers(), 3);
+  if (affinity_supported() && affinity_cpu_count() > 0)
+    EXPECT_EQ(pinned.pinned_workers(), 3);
+
+  // Pinning is a placement hint only: the pool still dispatches work to
+  // every worker exactly once.
+  std::atomic<int> hits{0};
+  pinned.run([&](int) { hits.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+// --------------------------------------------------- pinning bit-identity
+
+TEST(Affinity, PinnedRunsAreBitIdenticalToUnpinnedOnes) {
+  const int wide = test_thread_width();
+  const int k = test_shard_count();
+  const auto corpus = harness::small_corpus(7);
+  int checked = 0;
+  for (const auto& inst : corpus) {
+    if (checked >= 3) break;  // three instances bound the runtime
+    for (const char* name : {"det", "greedy-threshold"}) {
+      const harness::SolverInfo* info = harness::find_solver(name);
+      if (info == nullptr || !harness::solver_applicable(*info, inst))
+        continue;
+      harness::SolverParams params = harness::params_for(*info, inst);
+      CongestConfig plain_cfg;
+      plain_cfg.seed = 0xaff10001ULL;
+      CongestConfig pinned_cfg = plain_cfg;
+      pinned_cfg.pin_threads = true;
+      for (const int threads : {1, wide}) {
+        for (const int shards : {1, k}) {
+          params.threads = threads;
+          params.shards = shards;
+          const MdsResult plain =
+              harness::run_solver(name, inst.wg, params, plain_cfg);
+          const MdsResult pinned =
+              harness::run_solver(name, inst.wg, params, pinned_cfg);
+          EXPECT_TRUE(plain == pinned)
+              << name << " on " << inst.name << " diverged under pinning at "
+              << threads << " threads, " << shards << " shards";
+        }
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 1);
+}
+
+// ------------------------------------------------ auto-replan bit-identity
+
+TEST(Affinity, AutoReplannedRunsAreBitIdenticalAtEveryWidthAndShardCount) {
+  // "det" chains multiple phases, so replans can fire mid-protocol; the
+  // reference is a plain unsharded run with replanning off. Pinning
+  // rides along so the test covers the full shard-affine configuration.
+  const int wide = test_thread_width();
+  const auto corpus = harness::small_corpus(7);
+  int checked = 0;
+  for (const auto& inst : corpus) {
+    if (checked >= 2) break;
+    const harness::SolverInfo& info = harness::solver("det");
+    if (!harness::solver_applicable(info, inst)) continue;
+    harness::SolverParams params = harness::params_for(info, inst);
+    CongestConfig base;
+    base.seed = 0xaff20002ULL;
+
+    params.threads = 1;
+    const MdsResult reference =
+        harness::run_solver("det", inst.wg, params, base);
+
+    CongestConfig replan_cfg = base;
+    replan_cfg.auto_replan = true;
+    replan_cfg.pin_threads = true;
+    for (const int threads : {1, wide}) {
+      for (const int shards : {1, 2, 4}) {
+        params.threads = threads;
+        params.shards = shards;
+        const MdsResult run =
+            harness::run_solver("det", inst.wg, params, replan_cfg);
+        EXPECT_TRUE(run == reference)
+            << "det on " << inst.name << " diverged under auto-replan at "
+            << threads << " threads, " << shards << " shards";
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 1);
+}
+
+// ----------------------------------------------- a replan actually fires
+
+// Phase 1: nodes 31 and 32 of a path exchange a message every round for
+// eight rounds — all measured traffic sits on the one edge the initial
+// balanced plan cuts.
+class HeavyBoundaryTraffic final : public protocol::Phase {
+ public:
+  std::string_view name() const override { return "heavy"; }
+  void initialize(Network& net) override {
+    rounds_ = 0;
+    exchange(net);
+  }
+  void process_round(Network& net) override {
+    ++rounds_;
+    if (rounds_ < 8) exchange(net);
+  }
+  bool finished(const Network&) const override { return rounds_ >= 8; }
+
+ private:
+  static void exchange(Network& net) {
+    net.send(31, 32, Message::tagged(0).add_id(31));
+    net.send(32, 31, Message::tagged(0).add_id(32));
+  }
+  int rounds_ = 0;
+};
+
+// Phase 2 exists so the runner has a phase boundary to replan at.
+class IdlePhase final : public protocol::Phase {
+ public:
+  std::string_view name() const override { return "idle"; }
+  void initialize(Network&) override { done_ = false; }
+  void process_round(Network&) override { done_ = true; }
+  bool finished(const Network&) const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Affinity, SkewedTrafficTriggersAPhaseBoundaryReplan) {
+  // Path of 64 nodes, balanced 2-shard plan cutting edge (31, 32): every
+  // profiled bit crosses the cut, so the measured refiner finds a
+  // cheaper boundary inside the balance window and the runner adopts it
+  // (the win dwarfs the 5% hysteresis).
+  WeightedGraph wg = WeightedGraph::uniform(gen::path(64));
+  CongestConfig cfg;
+  cfg.shards = 2;
+  cfg.auto_replan = true;
+  shard::ShardPlan balanced;
+  balanced.node_begin = {0, 32, 64};
+  shard::ShardedNetwork net(wg, cfg, balanced);
+  ASSERT_EQ(net.plan().node_begin[1], 32);
+  ASSERT_EQ(net.replans(), 0);
+
+  HeavyBoundaryTraffic heavy;
+  IdlePhase idle;
+  protocol::ProtocolRunner runner(net);
+  runner.run({&heavy, &idle});
+
+  EXPECT_GE(net.replans(), 1);
+  EXPECT_NE(net.plan().node_begin[1], 32)
+      << "the adopted plan should have moved the boundary off the hot edge";
+}
+
+}  // namespace
+}  // namespace arbods

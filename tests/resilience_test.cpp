@@ -324,12 +324,11 @@ TEST(Repair, ScenarioRowsAreDeterministicAndPassTheSurvivingOracle) {
                         << " shards=" << row.shards << ": " << rep.failure;
   }
 
-  // Schema v5: the repair columns and the round-limit flag ride in the
-  // JSON rows.
+  // The v5 repair columns and round-limit flag ride in the JSON rows.
   std::ostringstream os;
   harness::write_scenario_json(os, rows);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
   EXPECT_NE(json.find("\"hit_round_limit\": "), std::string::npos);
   EXPECT_NE(json.find("\"repair_rounds\": "), std::string::npos);
   EXPECT_NE(json.find("\"repaired_nodes\": "), std::string::npos);

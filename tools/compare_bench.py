@@ -3,6 +3,15 @@
 
 Usage: compare_bench.py BASELINE.json FRESH.json [--tolerance 0.25]
                         [--uniform-slack 2.0]
+       compare_bench.py --speedup SWEEP.json
+
+The second form is not a gate: it reads ONE exp12 JSON that sweeps both
+shards=1 and shards=K>1 cells and prints a per-(solver, n, threads)
+sharded/unsharded seconds-ratio table (ratio < 1 = sharded faster),
+pairing rows on (instance, solver, seed, fault, threads) and folding
+multiple instances of the same (solver, n) with a geometric mean. Use it
+on a `--pin --auto-replan` sweep to check the "sharding is free" claim
+per thread width; it always exits 0 unless no pair exists (exit 2).
 
 Rows are matched on (instance, solver, threads, shards) plus, when BOTH
 files carry the field, `seed` and `fault` (new in schema v4 — a
@@ -109,10 +118,61 @@ def print_counter_diff(k, base, new, counters):
         print(f"    {field:<12} {b!r:>16} {f!r:>16} {delta:>12}{marker}")
 
 
+def speedup_table(rows):
+    """Prints the per-(solver, n, threads) sharded/unsharded seconds
+    ratios from one sweep. Returns the exit code."""
+    # Pair each sharded cell with the unsharded cell of the SAME
+    # (instance, solver, seed, fault, threads) — the only axes timing may
+    # legitimately vary on within one file.
+    base = {}
+    for row in rows:
+        if row.get("failed", False) or row.get("seconds", 0) <= 0:
+            continue
+        pair = (row["instance"], row["solver"], row.get("seed"),
+                row.get("fault", "none"), row["threads"])
+        if row.get("shards", 1) == 1:
+            base[pair] = row["seconds"]
+    # (solver, n, threads, shards) -> list of per-pair ratios; instances
+    # that share (solver, n) fold into one geomean line.
+    cells = {}
+    for row in rows:
+        if row.get("failed", False) or row.get("seconds", 0) <= 0:
+            continue
+        if row.get("shards", 1) == 1:
+            continue
+        pair = (row["instance"], row["solver"], row.get("seed"),
+                row.get("fault", "none"), row["threads"])
+        if pair not in base:
+            continue
+        cell = (row["solver"], row["n"], row["threads"], row["shards"])
+        cells.setdefault(cell, []).append(row["seconds"] / base[pair])
+    if not cells:
+        print("FAIL: no (sharded, unsharded) row pair in the sweep; "
+              "run exp12 with --shards 1,K")
+        return 2
+    print(f"{'solver':<20} {'n':>8} {'threads':>7} {'shards':>6} "
+          f"{'sharded/unsharded':>18}")
+    per_k = {}
+    for (solver, n, threads, shards), rs in sorted(cells.items()):
+        ratio = math.exp(sum(math.log(r) for r in rs) / len(rs))
+        per_k.setdefault(shards, []).append(ratio)
+        print(f"{solver:<20} {n:>8} {threads:>7} {shards:>6} "
+              f"{ratio:>17.3f}x")
+    for shards, rs in sorted(per_k.items()):
+        geo = math.exp(sum(math.log(r) for r in rs) / len(rs))
+        print(f"geomean K={shards}: {geo:.3f}x "
+              f"({'sharded faster' if geo < 1.0 else 'sharded slower'})")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("fresh", nargs="?", default=None)
+    parser.add_argument("--speedup", action="store_true",
+                        help="read ONE sweep JSON (the first positional) "
+                             "and print the sharded/unsharded seconds "
+                             "ratio table instead of gating")
     parser.add_argument("--tolerance", "--threshold", type=float,
                         dest="tolerance", default=0.25,
                         help="allowed fractional per-row regression after "
@@ -125,6 +185,14 @@ def main():
 
     with open(args.baseline) as f:
         baseline_rows = json.load(f)
+    if args.speedup:
+        if args.fresh is not None:
+            print("usage: --speedup takes exactly one JSON file")
+            return 2
+        return speedup_table(baseline_rows)
+    if args.fresh is None:
+        print("usage: compare_bench.py BASELINE.json FRESH.json")
+        return 2
     with open(args.fresh) as f:
         fresh_rows = json.load(f)
 
@@ -150,10 +218,15 @@ def main():
     # carry the field (bridged_bytes from v3; the fault axis from v4;
     # hit_round_limit and the repair columns from v5), ignored across
     # schema versions.
+    # `replans` (v6) joins them: plan adoptions are deterministic, so a
+    # drift under identical flags is an engine change. `pinned` (also v6)
+    # stays OUT on purpose — it is placement metadata, and comparing a
+    # pinned fresh run against an unpinned baseline is a supported way to
+    # check that pinning itself is perf-neutral on counters.
     optional_counters = ("bridged_bytes", "dropped", "duplicated",
                          "delayed", "killed", "failed", "hit_round_limit",
                          "repair_rounds", "repaired_nodes",
-                         "post_repair_weight")
+                         "post_repair_weight", "replans")
 
     # One-line schema-drift notice: columns only one side carries are
     # skipped by the both-sides rule above — say so instead of silently
