@@ -64,7 +64,8 @@ std::vector<int> split_ints(const std::string& csv) {
                "                     [--solvers name1,name2,...] [--families "
                "f1,f2,...]\n"
                "                     [--seed S] [--repeats N] [--pin] "
-               "[--auto-replan] [--smoke]\n";
+               "[--auto-replan] [--smoke]\n"
+               "                     [--trace-out PATH]\n";
   std::exit(2);
 }
 
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
   int repeats = 1;
   bool pin = false;
   bool auto_replan = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--repeats")) repeats = std::stoi(need("--repeats"));
     else if (!std::strcmp(argv[i], "--pin")) pin = true;
     else if (!std::strcmp(argv[i], "--auto-replan")) auto_replan = true;
+    else if (!std::strcmp(argv[i], "--trace-out")) trace_out = need("--trace-out");
     else if (!std::strcmp(argv[i], "--smoke")) {
       sizes = {10'000};
       threads = {1, 4};
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
   spec.base_config.seed = seed;
   spec.base_config.pin_threads = pin;
   spec.base_config.auto_replan = auto_replan;
+  spec.trace_out = trace_out;
   // The JSON only reads scalar fields; don't hold one O(n) certificate
   // per row across a 500k-node sweep.
   spec.keep_certificates = false;

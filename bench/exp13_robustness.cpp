@@ -103,7 +103,8 @@ harness::ScenarioFault named_level(const std::string& name) {
                "                        [--threads W1,W2,...] [--shards "
                "K1,K2,...]\n"
                "                        [--seeds S1,S2,...] [--repeats N]\n"
-               "                        [--round-limit R] [--smoke]\n";
+               "                        [--round-limit R] [--smoke] "
+               "[--trace-out PATH]\n";
   std::exit(2);
 }
 
@@ -119,6 +120,7 @@ int main(int argc, char** argv) {
   int repeats = 1;
   std::int64_t round_limit = 2000;
   bool smoke = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
@@ -136,6 +138,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--repeats")) repeats = std::stoi(need("--repeats"));
     else if (!std::strcmp(argv[i], "--round-limit")) round_limit = std::stoll(need("--round-limit"));
     else if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    else if (!std::strcmp(argv[i], "--trace-out")) trace_out = need("--trace-out");
     else usage();
   }
   if (repeats < 1) repeats = 1;
@@ -164,6 +167,7 @@ int main(int argc, char** argv) {
   spec.base_config.round_limit = round_limit;
   spec.tolerate_failures = true;
   spec.keep_certificates = false;
+  spec.trace_out = trace_out;
 
   std::vector<harness::CorpusInstance> corpus;
   if (smoke) {

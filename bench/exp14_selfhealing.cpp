@@ -109,7 +109,9 @@ harness::ScenarioFault named_level(const std::string& name) {
                "                         [--seeds S1,S2,...] [--repeats N]\n"
                "                         [--round-limit R] "
                "[--rel-round-limit R]\n"
-               "                         [--smoke]\n";
+               "                         [--smoke] [--trace-out PATH]\n"
+               "  --trace-out writes the raw sweep's trace to PATH and the\n"
+               "  reliable-transport sweep's to PATH.rel\n";
   std::exit(2);
 }
 
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
   // recovery.
   std::int64_t rel_round_limit = 50000;
   bool smoke = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
@@ -148,6 +151,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--round-limit")) round_limit = std::stoll(need("--round-limit"));
     else if (!std::strcmp(argv[i], "--rel-round-limit")) rel_round_limit = std::stoll(need("--rel-round-limit"));
     else if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    else if (!std::strcmp(argv[i], "--trace-out")) trace_out = need("--trace-out");
     else usage();
   }
   if (repeats < 1) repeats = 1;
@@ -187,6 +191,7 @@ int main(int argc, char** argv) {
   raw_spec.base_config.round_limit = round_limit;
   raw_spec.tolerate_failures = true;
   raw_spec.keep_certificates = false;
+  raw_spec.trace_out = trace_out;
 
   // Sweep B: base solvers under reliable transport, same ladder with the
   // kill dial zeroed (a crashed node retransmits nothing; the channel's
@@ -201,6 +206,9 @@ int main(int argc, char** argv) {
   }
   rel_spec.base_config.reliable_transport = true;
   rel_spec.base_config.round_limit = rel_round_limit;
+  // Two sweeps cannot share one output file; the reliable leg (the one
+  // with retransmit spans) gets a .rel sibling.
+  rel_spec.trace_out = trace_out.empty() ? trace_out : trace_out + ".rel";
 
   std::vector<harness::ScenarioRow> rows = harness::run_scenario(raw_spec, corpus);
   {

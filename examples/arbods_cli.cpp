@@ -57,7 +57,7 @@ void print_solver_table(std::ostream& os) {
                "                  [--alpha A] [--eps E] [--t T] [--k K]\n"
                "                  [--weights unit|uniform|powerlaw|degree|"
                "invdegree] [--seed S] [--threads W] [--shards K]\n"
-               "                  [--pin] [--auto-replan]\n";
+               "                  [--pin] [--auto-replan] [--trace-out PATH]\n";
   print_solver_table(std::cerr);
   std::exit(2);
 }
@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool pin = false;
   bool auto_replan = false;
+  std::string trace_out;
   for (int i = 2; i < argc; ++i) {
     auto need = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
@@ -121,6 +122,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--shards")) params.shards = std::stoi(need("--shards"));
     else if (!std::strcmp(argv[i], "--pin")) pin = true;
     else if (!std::strcmp(argv[i], "--auto-replan")) auto_replan = true;
+    else if (!std::strcmp(argv[i], "--trace-out")) trace_out = need("--trace-out");
     else usage();
   }
 
@@ -164,6 +166,7 @@ int main(int argc, char** argv) {
   spec.base_config.seed = seed;
   spec.base_config.pin_threads = pin;
   spec.base_config.auto_replan = auto_replan;
+  spec.trace_out = trace_out;
 
   const std::vector<const harness::CorpusInstance*> instances = {&inst};
   std::vector<harness::ScenarioRow> rows;
@@ -193,6 +196,14 @@ int main(int argc, char** argv) {
     std::cout << "  phase " << phase.name << ": " << phase.rounds
               << " rounds, " << phase.messages << " messages, "
               << phase.total_bits << " bits\n";
+  const obs::TimingStats& timing = res.stats.timing;
+  std::cout << "timing:          compute " << timing.compute_seconds
+            << "s, flip " << timing.flip_seconds << "s, merge "
+            << timing.merge_seconds << "s, retransmit "
+            << timing.retransmit_seconds << "s\n";
+  if (!trace_out.empty())
+    std::cout << "trace:           " << trace_out
+              << " (open in Perfetto / chrome://tracing)\n";
   std::cout << "verified:        OK\n";
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <iostream>
 #include <limits>
 #include <thread>
 #include <type_traits>
@@ -182,6 +183,14 @@ Network::Network(const WeightedGraph& wg, CongestConfig config,
       first_touch_worker_state(w);
   if (!is_shard_member_ && workers > 1)
     pool_ = std::make_unique<WorkerPool>(workers, config_.pin_threads);
+  // Only the outermost Network of a decorator stack owns a recorder
+  // (facade-owned members record through their owner's sink, installed
+  // by the facade after construction).
+  if (config_.trace.enabled && !is_shard_member_) {
+    tracer_owned_ = std::make_unique<obs::TraceRecorder>(
+        workers, config_.trace.ring_capacity);
+    tracer_ = tracer_owned_.get();
+  }
 
   active_mark_.assign(ns, 0);
   active_list_.reserve(64);
@@ -226,6 +235,11 @@ Network::Network(const WeightedGraph& wg, CongestConfig config, FacadeInit)
   for (auto& s : scratch_) s.reserve(64);
   if (workers > 1)
     pool_ = std::make_unique<WorkerPool>(workers, config_.pin_threads);
+  if (config_.trace.enabled) {
+    tracer_owned_ = std::make_unique<obs::TraceRecorder>(
+        workers, config_.trace.ring_capacity);
+    tracer_ = tracer_owned_.get();
+  }
   active_list_.reserve(64);
   rng_streams_fresh_ = true;
 }
@@ -523,6 +537,7 @@ void Network::merge_spills_and_grow() {
 }
 
 void Network::rebuild_active_set() {
+  const std::int64_t span_t0 = tracer_ != nullptr ? obs::monotonic_ns() : 0;
   active_dirty_ = false;
   ++active_epoch_;
   const std::uint64_t epoch = active_epoch_;
@@ -570,6 +585,9 @@ void Network::rebuild_active_set() {
     std::sort(active_list_.begin(), active_list_.end());
   }
   active_highwater_ = std::max(active_highwater_, active_list_.size());
+  if (tracer_ != nullptr)
+    tracer_->record(0, "active:rebuild", span_t0, obs::monotonic_ns(), 0,
+                    static_cast<std::int64_t>(active_list_.size()));
 }
 
 void Network::clear_all_lanes() {
@@ -645,7 +663,12 @@ bool Network::affine_chunk_bounds(ChunkDomain, std::size_t,
 void Network::run_index_chunks(
     std::size_t count, FunctionRef<void(std::size_t, std::size_t)> chunk_fn,
     ChunkDomain domain) {
+  const char* span_name = domain == ChunkDomain::kActive    ? "chunk:active"
+                          : domain == ChunkDomain::kShards  ? "chunk:shards"
+                                                            : "chunk:nodes";
   if (!pool_) {
+    obs::ScopedSpan span(tracer_, 0, span_name, 0,
+                         static_cast<std::int64_t>(count));
     chunk_fn(0, count);
     return;
   }
@@ -669,7 +692,11 @@ void Network::run_index_chunks(
         bounds ? bounds[w + 1]
                : count * (static_cast<std::size_t>(w) + 1) /
                      static_cast<std::size_t>(workers);
-    chunk_fn(begin, end);
+    {
+      obs::ScopedSpan span(tracer_, static_cast<std::size_t>(w), span_name, 0,
+                           static_cast<std::int64_t>(end - begin));
+      chunk_fn(begin, end);
+    }
     tls_worker = 0;
   };
   pool_->run(worker_fn);
@@ -683,6 +710,12 @@ void Network::reset_for_reuse() {
   touched_highwater_ = 0;
   armed_highwater_ = 0;
   active_highwater_ = 0;
+  // Drop the previous run's spans (owner only — a shared sink belongs to
+  // the outer decorator, whose own reset clears it) and flight records,
+  // so a post-run snapshot covers exactly the next run.
+  if (tracer_owned_) tracer_owned_->clear();
+  flight_next_ = 0;
+  flight_count_ = 0;
   clear_all_lanes();
   reseed_node_rngs();
 }
@@ -722,7 +755,32 @@ const PhaseStats& Network::run_phase(DistributedAlgorithm& algo,
   if (config_.round_limit > 0)
     max_rounds = std::min(max_rounds, config_.round_limit);
 
-  algo.initialize(*this);
+  const obs::TimingStats timing_before = stats_.timing;
+  // Flight recorder: (re)size the ring once per phase — the per-round
+  // writes below are plain ring stores, preserving the zero-allocation
+  // guarantee of a steady-state round.
+  const std::size_t flight_cap =
+      static_cast<std::size_t>(std::max(config_.trace.flight_rounds, 0));
+  if (flight_ring_.size() != flight_cap) flight_ring_.assign(flight_cap, {});
+  flight_next_ = 0;
+  flight_count_ = 0;
+  // Interned once per phase (alloc-safe: before the round loop), so the
+  // per-round spans can store a stable const char*.
+  const char* phase_span = nullptr;
+  if (tracer_ != nullptr) {
+    std::string label = "phase:";
+    label += phase_name;
+    phase_span = tracer_->intern(label);
+  }
+  const std::int64_t phase_t0 = obs::monotonic_ns();
+
+  {
+    const std::int64_t t0 = phase_t0;
+    algo.initialize(*this);
+    const std::int64_t t1 = obs::monotonic_ns();
+    stats_.timing.compute_seconds += static_cast<double>(t1 - t0) * 1e-9;
+    if (tracer_ != nullptr) tracer_->record(0, "initialize", t0, t1);
+  }
   reduce_stats();
   while (!algo.finished(*this)) {
     if (phase_rounds >= max_rounds) {
@@ -730,14 +788,61 @@ const PhaseStats& Network::run_phase(DistributedAlgorithm& algo,
       stats_.hit_round_limit = true;
       break;
     }
-    flip_buffers();
+    {
+      const std::int64_t t0 = obs::monotonic_ns();
+      flip_buffers();
+      const std::int64_t t1 = obs::monotonic_ns();
+      stats_.timing.flip_seconds += static_cast<double>(t1 - t0) * 1e-9;
+      if (tracer_ != nullptr) tracer_->record(0, "flip", t0, t1);
+    }
     ++round_;
     ++stats_.rounds;
     ++phase_rounds;
-    algo.process_round(*this);
+    obs::FlightRecord before;
+    if (flight_cap > 0) {
+      before.delivered = stats_.messages;
+      before.bits = stats_.total_bits;
+      before.dropped = stats_.dropped;
+      before.duplicated = stats_.duplicated;
+      before.delayed = stats_.delayed;
+      before.killed = stats_.killed;
+    }
+    {
+      const std::int64_t t0 = obs::monotonic_ns();
+      algo.process_round(*this);
+      const std::int64_t t1 = obs::monotonic_ns();
+      stats_.timing.compute_seconds += static_cast<double>(t1 - t0) * 1e-9;
+      if (tracer_ != nullptr) tracer_->record(0, "round", t0, t1, 0, round_);
+    }
     reduce_stats();
+    if (flight_cap > 0) {
+      obs::FlightRecord rec;
+      rec.round = round_;
+      // Never force a rebuild here: it would drain due timer buckets the
+      // next flip should carry forward (behavior change). -1 = the
+      // algorithm did not consult the active set this round.
+      rec.active = active_dirty_
+                       ? -1
+                       : static_cast<std::int64_t>(active_list_.size());
+      rec.delivered = stats_.messages - before.delivered;
+      rec.bits = stats_.total_bits - before.bits;
+      rec.spilled = pending_spill_records();
+      rec.dropped = stats_.dropped - before.dropped;
+      rec.duplicated = stats_.duplicated - before.duplicated;
+      rec.delayed = stats_.delayed - before.delayed;
+      rec.killed = stats_.killed - before.killed;
+      flight_note_round(rec);
+    }
   }
   shrink_scratch();
+  if (tracer_ != nullptr)
+    tracer_->record(0, phase_span, phase_t0, obs::monotonic_ns());
+  if (hit_limit && flight_count_ > 0) {
+    std::string why = "phase '";
+    why += phase_name;
+    why += "' hit its round limit";
+    dump_flight_recorder(std::cerr, why);
+  }
 
   PhaseStats ps;
   ps.name.assign(phase_name);
@@ -750,8 +855,39 @@ const PhaseStats& Network::run_phase(DistributedAlgorithm& algo,
   ps.duplicated = stats_.duplicated - duplicated_before;
   ps.delayed = stats_.delayed - delayed_before;
   ps.killed = stats_.killed - killed_before;
+  ps.timing = stats_.timing - timing_before;
   stats_.phases.push_back(std::move(ps));
   return stats_.phases.back();
+}
+
+std::int64_t Network::pending_spill_records() const {
+  std::int64_t total = 0;
+  for (const WorkerSpill& sp : spills_)
+    total += static_cast<std::int64_t>(sp.recs.size());
+  return total;
+}
+
+void Network::flight_note_round(const obs::FlightRecord& rec) {
+  if (flight_ring_.empty()) return;
+  flight_ring_[flight_next_] = rec;
+  flight_next_ = (flight_next_ + 1) % flight_ring_.size();
+  if (flight_count_ < flight_ring_.size()) ++flight_count_;
+}
+
+std::vector<obs::FlightRecord> Network::flight_records() const {
+  std::vector<obs::FlightRecord> out;
+  if (flight_count_ == 0) return out;
+  out.reserve(flight_count_);
+  const std::size_t cap = flight_ring_.size();
+  const std::size_t start = (flight_next_ + cap - flight_count_) % cap;
+  for (std::size_t i = 0; i < flight_count_; ++i)
+    out.push_back(flight_ring_[(start + i) % cap]);
+  return out;
+}
+
+void Network::dump_flight_recorder(std::ostream& os,
+                                   std::string_view why) const {
+  obs::dump_flight_records(os, why, flight_records());
 }
 
 RunStats Network::run(DistributedAlgorithm& algo, std::int64_t max_rounds) {

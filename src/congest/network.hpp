@@ -52,6 +52,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -66,6 +67,7 @@
 #include "congest/worker_pool.hpp"
 #include "fault/fault_spec.hpp"
 #include "graph/weighted_graph.hpp"
+#include "obs/trace.hpp"
 
 namespace arbods {
 
@@ -134,6 +136,12 @@ struct CongestConfig {
   /// (reliable_transport_header_bits on top of congest_message_cap) —
   /// the wrapped algorithm still sees exactly the original cap.
   bool reliable_transport = false;
+  /// Observability: span tracing + flight recorder (obs/trace.hpp). The
+  /// outermost Network of a decorator stack owns the recorder; inner
+  /// layers share it, so one run produces one trace. Default-off is free
+  /// on the hot path, and enabling it cannot change results — the timing
+  /// breakdown is excluded from every stats comparison.
+  obs::TraceOptions trace{};
 
   friend bool operator==(const CongestConfig&, const CongestConfig&) = default;
 };
@@ -160,8 +168,19 @@ struct PhaseStats {
   std::int64_t duplicated = 0;
   std::int64_t delayed = 0;
   std::int64_t killed = 0;
+  /// Wall-clock breakdown for this phase (always measured). NOT part of
+  /// operator== — the determinism and differential suites compare
+  /// logical results, and timing can never be bit-stable.
+  obs::TimingStats timing;
 
-  friend bool operator==(const PhaseStats&, const PhaseStats&) = default;
+  friend bool operator==(const PhaseStats& a, const PhaseStats& b) {
+    return a.name == b.name && a.rounds == b.rounds &&
+           a.messages == b.messages && a.total_bits == b.total_bits &&
+           a.max_message_bits == b.max_message_bits &&
+           a.hit_round_limit == b.hit_round_limit && a.dropped == b.dropped &&
+           a.duplicated == b.duplicated && a.delayed == b.delayed &&
+           a.killed == b.killed;
+  }
 };
 
 struct RunStats {
@@ -179,8 +198,18 @@ struct RunStats {
   /// Per-phase breakdown, one entry per run_phase() call (a plain run()
   /// is a single phase named "main").
   std::vector<PhaseStats> phases;
+  /// Whole-run wall-clock breakdown (the sum of the per-phase timings).
+  /// NOT part of operator== — see PhaseStats::timing.
+  obs::TimingStats timing;
 
-  friend bool operator==(const RunStats&, const RunStats&) = default;
+  friend bool operator==(const RunStats& a, const RunStats& b) {
+    return a.rounds == b.rounds && a.messages == b.messages &&
+           a.total_bits == b.total_bits &&
+           a.max_message_bits == b.max_message_bits &&
+           a.hit_round_limit == b.hit_round_limit && a.dropped == b.dropped &&
+           a.duplicated == b.duplicated && a.delayed == b.delayed &&
+           a.killed == b.killed && a.phases == b.phases;
+  }
 };
 
 /// Per-worker cache-line-padded counter for algorithms that must maintain
@@ -377,7 +406,7 @@ class Network {
   /// makes unobservable.
   template <typename F>
   void for_active_nodes(F&& fn) {
-    if (active_dirty_) rebuild_active_set();
+    ensure_active_set();
     const NodeId* nodes = active_list_.data();
     auto chunk = [&fn, nodes](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) fn(nodes[i]);
@@ -406,7 +435,7 @@ class Network {
   /// This round's active set (receivers + previously armed). Mainly for
   /// tests and diagnostics.
   std::span<const NodeId> active_nodes() {
-    if (active_dirty_) rebuild_active_set();
+    ensure_active_set();
     return {active_list_.data(), active_list_.size()};
   }
 
@@ -465,6 +494,32 @@ class Network {
   const shard::ShardedNetwork* sharded_core() const {
     return const_cast<Network*>(this)->sharded_core();
   }
+
+  // --- observability ---
+  /// The span recorder this Network records into, or nullptr when
+  /// tracing is off. Owned by the outermost Network of a decorator stack
+  /// (CongestConfig::trace.enabled) and shared down through the inner
+  /// layers, so one run produces one trace. snapshot() between runs;
+  /// reset_for_reuse clears it, so a post-run snapshot covers exactly
+  /// the last run.
+  obs::TraceRecorder* tracer() const { return tracer_; }
+
+  /// Accounts wall-clock spent in the reliable-transport receive /
+  /// transmit passes into stats().timing (resilience::ReliablePhase
+  /// calls this; the passes run outside the Network's own seams).
+  void account_retransmit_seconds(double s) {
+    stats_.timing.retransmit_seconds += s;
+  }
+
+  /// Flight-recorder contents: the last min(flight_rounds, rounds run)
+  /// per-round summaries of the current phase, oldest first. Empty when
+  /// CongestConfig::trace.flight_rounds == 0.
+  std::vector<obs::FlightRecord> flight_records() const;
+
+  /// Human-readable dump of flight_records() (run_phase emits this on
+  /// stderr automatically when a phase exhausts its round budget; the
+  /// harness calls it when a solver throws CheckError).
+  void dump_flight_recorder(std::ostream& os, std::string_view why) const;
 
  protected:
   /// Tag for the sharded-facade constructor: topology indices, worker
@@ -593,6 +648,21 @@ class Network {
   /// matches the domain's size.
   virtual bool affine_chunk_bounds(ChunkDomain domain, std::size_t count,
                                    std::vector<std::size_t>& bounds);
+  /// Wire records currently parked in spill buffers awaiting the next
+  /// flip's merge (flight-recorder diagnostics; the sharded facade sums
+  /// its members, the fault decorator forwards to its engine).
+  virtual std::int64_t pending_spill_records() const;
+  /// Build the active set if the current round's flip marked it dirty.
+  /// The single seam behind for_active_nodes/active_nodes — and
+  /// deliberately NOT called by the flight recorder: forcing a rebuild
+  /// drains due timer buckets the flip would otherwise carry forward,
+  /// which changes behavior for for_nodes-only algorithms.
+  void ensure_active_set() {
+    if (active_dirty_) rebuild_active_set();
+  }
+  /// Appends one flight-recorder line for the round just processed (a
+  /// plain ring store; called by run_phase after each round).
+  void flight_note_round(const obs::FlightRecord& rec);
   /// Deferred-construction halves of SliceInit::defer_first_touch: zero
   /// the length words of lanes [lane_begin, lane_end) in both arenas /
   /// initialize worker w's calendar ring and encode scratch. Idempotent
@@ -729,6 +799,20 @@ class Network {
   // max is not decomposable into per-phase deltas, so it is tracked
   // separately alongside the per-round reduction).
   int phase_max_message_bits_ = 0;
+
+  // Span recorder (obs/trace.hpp). The outermost Network of a decorator
+  // stack owns one when config.trace.enabled (shard members never do —
+  // their facade records for them); decorators propagate the raw sink
+  // down so inner layers record into the same rings. Null = tracing off.
+  std::unique_ptr<obs::TraceRecorder> tracer_owned_;
+  obs::TraceRecorder* tracer_ = nullptr;
+
+  // Flight recorder: overwrite ring of the last trace.flight_rounds
+  // per-round summaries. Sized once per phase (run_phase), written with
+  // plain ring stores per round — zero steady-state allocation.
+  std::vector<obs::FlightRecord> flight_ring_;
+  std::size_t flight_next_ = 0;
+  std::size_t flight_count_ = 0;
 };
 
 }  // namespace arbods

@@ -57,6 +57,10 @@ void FaultyNetwork::init_from_plan(const WeightedGraph& wg,
   // worker slots pass through the deposit seam unchanged.
   CongestConfig inner_cfg = config;
   inner_cfg.fault = FaultSpec{};  // the decorator owns the faults
+  // One recorder per decorator stack: the decorator (FacadeInit above)
+  // owns it; the inner engine records into the same rings through the
+  // shared sink installed below.
+  inner_cfg.trace.enabled = false;
   const int k = std::clamp(config.shards, 1,
                            std::max<int>(1, static_cast<int>(n)));
   if (k <= 1) {
@@ -67,6 +71,7 @@ void FaultyNetwork::init_from_plan(const WeightedGraph& wg,
     inner_cfg.shards = k;
     inner_ = std::make_unique<shard::ShardedNetwork>(wg, inner_cfg);
   }
+  inner_->tracer_ = tracer_;
 }
 
 std::vector<NodeId> FaultyNetwork::killed_nodes() const {
@@ -233,9 +238,20 @@ void FaultyNetwork::flip_buffers() {
       bucket.recs.clear();
     }
   }
+  // The decorator's flip time lands in the outer run_phase's flip
+  // accounting; the inner facade's per-destination merge time accrues in
+  // its OWN stats_.timing, so harvest the delta into ours — the
+  // decorator's stats are the ones the run reports.
+  const double merge_before = inner_->stats_.timing.merge_seconds;
   inner_->flip_buffers();
+  stats_.timing.merge_seconds +=
+      inner_->stats_.timing.merge_seconds - merge_before;
   inner_->round_ = round_ + 1;  // lockstep: the caller advances ours next
   active_dirty_ = true;
+}
+
+std::int64_t FaultyNetwork::pending_spill_records() const {
+  return inner_->pending_spill_records();
 }
 
 void FaultyNetwork::clear_all_lanes() {

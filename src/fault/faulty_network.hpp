@@ -122,6 +122,7 @@ class FaultyNetwork final : public Network {
   void reseed_node_rngs() override;
   void rebuild_active_set() override;
   void shrink_scratch() override;
+  std::int64_t pending_spill_records() const override;
 
   void init_from_plan(const WeightedGraph& wg, const CongestConfig& config);
   /// The per-record intercept described in the header comment.

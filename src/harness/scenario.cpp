@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <ostream>
 #include <utility>
 
@@ -50,6 +52,15 @@ std::string json_string(const std::string& s) {
   return out;
 }
 
+/// Explicit fixed 9-decimal seconds (nanosecond resolution): the stream
+/// default of 6 significant digits collapses sub-millisecond rows into
+/// indistinguishable values.
+std::string json_fixed(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9f", v);
+  return std::string(buf);
+}
+
 }  // namespace
 
 std::vector<ScenarioRow> run_scenario(
@@ -64,6 +75,16 @@ std::vector<ScenarioRow> run_scenario(
   ARBODS_CHECK_MSG(!spec.seeds.empty(), "scenario has no seeds");
   ARBODS_CHECK_MSG(!spec.fault_levels.empty(), "scenario has no fault levels");
   ARBODS_CHECK_MSG(spec.repeats >= 1, "repeats must be >= 1");
+
+  // Observability defaults for the sweep: --trace-out turns span
+  // recording on, and tolerate_failures arms the flight recorder (the
+  // whole point of tolerating a failure is diagnosing it). Applied to a
+  // copy — the caller's spec stays untouched.
+  CongestConfig base_config = spec.base_config;
+  if (!spec.trace_out.empty()) base_config.trace.enabled = true;
+  if (spec.tolerate_failures && base_config.trace.flight_rounds == 0)
+    base_config.trace.flight_rounds = 8;
+  std::vector<obs::TraceGroup> trace_groups;
 
   std::vector<ScenarioRow> rows;
   for (const CorpusInstance* inst_ptr : instances) {
@@ -101,7 +122,7 @@ std::vector<ScenarioRow> run_scenario(
 
         for (const int width : spec.thread_widths) {
         for (const int shard_count : spec.shard_counts) {
-          CongestConfig cfg = spec.base_config;
+          CongestConfig cfg = base_config;
           cfg.seed = seed;
           cfg.threads = width;
           cfg.shards = shard_count;
@@ -110,6 +131,7 @@ std::vector<ScenarioRow> run_scenario(
 
           bool identical = true;
           bool failed = false;
+          std::vector<obs::FlightRecord> last_rounds;
           MdsResult res;
           std::vector<double> samples;
           samples.reserve(static_cast<std::size_t>(spec.repeats));
@@ -123,10 +145,20 @@ std::vector<ScenarioRow> run_scenario(
                 run = info.run_on(net, params);
               } catch (const CheckError&) {
                 // The solver's invariants broke under this fault level;
-                // record the casualty and keep sweeping. The pooled
+                // record the casualty — with the flight recorder's
+                // last-rounds context — and keep sweeping. The pooled
                 // Network is safe to reuse: every run starts from
                 // reset_for_reuse.
                 failed = true;
+                last_rounds = net.flight_records();
+                if (!last_rounds.empty()) {
+                  std::string why = "solver '";
+                  why += scenario_solver.name;
+                  why += "' threw CheckError on '";
+                  why += inst.name;
+                  why += "'";
+                  net.dump_flight_recorder(std::cerr, why);
+                }
                 break;
               }
             } else {
@@ -150,6 +182,11 @@ std::vector<ScenarioRow> run_scenario(
             samples.clear();
             identical = true;  // excluded from the audit
           }
+          // Round-limited rows get the same context as failed ones: the
+          // final run's last rounds show what the phase was doing when
+          // the budget ran out.
+          if (!failed && res.stats.hit_round_limit)
+            last_rounds = net.flight_records();
           if (spec.validate && !failed) res.validate(inst.wg, 1e-5);
           if (!spec.keep_certificates) {
             res.packing.clear();
@@ -187,12 +224,32 @@ std::vector<ScenarioRow> run_scenario(
           // its inner engine's plan adoptions.
           if (const auto* core = net.sharded_core())
             row.replans = core->replans();
+          row.last_rounds = std::move(last_rounds);
+          // One trace group per cell: the recorder holds the FINAL
+          // repeat's spans (reset_for_reuse clears it at each run start).
+          if (!spec.trace_out.empty() && net.tracer() != nullptr) {
+            obs::TraceGroup group;
+            group.label = inst.name + " · " + row.solver +
+                          " · t" + std::to_string(width) + " s" +
+                          std::to_string(shard_count) + " seed" +
+                          std::to_string(seed);
+            if (row.fault != "none") group.label += " · " + row.fault;
+            group.events = net.tracer()->snapshot();
+            if (!group.events.empty())
+              trace_groups.push_back(std::move(group));
+          }
           rows.push_back(std::move(row));
         }
         }
       }
       }
     }
+  }
+  if (!spec.trace_out.empty()) {
+    std::ofstream out(spec.trace_out);
+    ARBODS_CHECK_MSG(out.good(),
+                     "cannot open trace output '" << spec.trace_out << "'");
+    obs::write_chrome_json(out, trace_groups);
   }
   return rows;
 }
@@ -234,7 +291,7 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
        << ", \"shards\": " << row.shards
        << ", \"seed\": " << row.seed
        << ", \"fault\": " << json_string(row.fault)
-       << ", \"seconds\": " << row.seconds
+       << ", \"seconds\": " << json_fixed(row.seconds)
        << ", \"repeats\": " << row.repeats
        << ", \"rounds\": " << row.result.stats.rounds
        << ", \"messages\": " << row.result.stats.messages
@@ -252,12 +309,31 @@ void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows) {
        << ", \"post_repair_weight\": " << row.result.post_repair_weight
        << ", \"pinned\": " << (row.pinned ? "true" : "false")
        << ", \"replans\": " << row.replans
+       << ", \"compute_seconds\": "
+       << json_fixed(row.result.stats.timing.compute_seconds)
+       << ", \"flip_seconds\": "
+       << json_fixed(row.result.stats.timing.flip_seconds)
+       << ", \"merge_seconds\": "
+       << json_fixed(row.result.stats.timing.merge_seconds)
+       << ", \"retransmit_seconds\": "
+       << json_fixed(row.result.stats.timing.retransmit_seconds)
        << ", \"identical\": " << (row.identical ? "true" : "false")
        << ", \"failed\": " << (row.failed ? "true" : "false")
        << ", \"bridged_bytes\": [";
     for (std::size_t i = 0; i < row.bridged_bytes.size(); ++i) {
       if (i > 0) os << ", ";
       os << row.bridged_bytes[i];
+    }
+    os << "], \"last_rounds\": [";
+    for (std::size_t i = 0; i < row.last_rounds.size(); ++i) {
+      const obs::FlightRecord& r = row.last_rounds[i];
+      if (i > 0) os << ", ";
+      os << "{\"round\": " << r.round << ", \"active\": " << r.active
+         << ", \"delivered\": " << r.delivered << ", \"bits\": " << r.bits
+         << ", \"spilled\": " << r.spilled << ", \"dropped\": " << r.dropped
+         << ", \"duplicated\": " << r.duplicated
+         << ", \"delayed\": " << r.delayed << ", \"killed\": " << r.killed
+         << "}";
     }
     os << "]}";
   }

@@ -26,6 +26,7 @@
 #include "fault/fault_spec.hpp"
 #include "harness/corpus.hpp"
 #include "harness/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace arbods::harness {
 
@@ -89,6 +90,13 @@ struct ScenarioSpec {
   /// determinism checking still compares full certificates per cell
   /// before the drop.
   bool keep_certificates = true;
+  /// Write a Chrome trace-event JSON file here after the sweep (empty =
+  /// tracing off). Enables base_config.trace for every cell; each cell
+  /// contributes one labeled group covering its FINAL repeat (pooled
+  /// Networks clear the recorder at every run() start), so the file
+  /// shows one process-row block per cell with per-worker tracks.
+  /// Tracing cannot change results — the determinism audit still runs.
+  std::string trace_out;
   /// Base simulator config; seed and threads are overridden per cell.
   CongestConfig base_config{};
 };
@@ -124,6 +132,12 @@ struct ScenarioRow {
   /// pooled Network later repeats start from the already-refined plan,
   /// so a converged cell reports 0 here.
   int replans = 0;
+  /// Flight-recorder context for diagnosable incidents: the last N
+  /// per-round summaries of the run that failed (CheckError under
+  /// tolerate_failures) or terminated via the round budget. Empty for
+  /// healthy rows and whenever trace.flight_rounds resolves to 0 —
+  /// run_scenario defaults it to 8 under tolerate_failures.
+  std::vector<obs::FlightRecord> last_rounds;
 };
 
 /// Pools Networks keyed by (graph, config): every run that shares the
@@ -184,15 +198,23 @@ double median_of(std::vector<double>& samples);
 /// shard-affine dispatch) and `replans` (phase-boundary auto-replans in
 /// the final run); compare_bench.py compares optional counters only
 /// when both sides carry them, so v5 and v6 artifacts keep matching on
-/// their shared fields.
-inline constexpr int kScenarioJsonSchemaVersion = 6;
+/// their shared fields. v7 added the wall-clock breakdown columns
+/// `compute_seconds`/`flip_seconds`/`merge_seconds`/
+/// `retransmit_seconds` (informational only — compare_bench.py prints
+/// them but never fails on timing drift), switched `seconds` and the
+/// breakdown to explicit fixed 9-decimal formatting (sub-millisecond
+/// rows used to collapse under 6-significant-digit stream defaults),
+/// and added `last_rounds`, the flight-recorder context of failed /
+/// round-limited rows (an empty array for healthy ones).
+inline constexpr int kScenarioJsonSchemaVersion = 7;
 
 /// One JSON object per row, as a JSON array (the exp12 schema):
 /// schema_version/instance/family/n/m/solver/threads/shards/seed/fault/
 /// seconds/repeats/rounds/messages/total_bits/set_size/weight/dropped/
 /// duplicated/delayed/killed/hit_round_limit/repair_rounds/
-/// repaired_nodes/post_repair_weight/pinned/replans/identical/failed/
-/// bridged_bytes.
+/// repaired_nodes/post_repair_weight/pinned/replans/compute_seconds/
+/// flip_seconds/merge_seconds/retransmit_seconds/identical/failed/
+/// bridged_bytes/last_rounds.
 void write_scenario_json(std::ostream& os, std::span<const ScenarioRow> rows);
 
 }  // namespace arbods::harness

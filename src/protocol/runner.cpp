@@ -21,6 +21,9 @@ namespace {
 void maybe_replan(Network& net) {
   shard::ShardedNetwork* sharded = net.sharded_core();
   if (sharded == nullptr) return;
+  // Evaluation span (driver thread, between phases); an adoption
+  // additionally records its own "replan:adopt" span inside adopt_plan.
+  obs::ScopedSpan span(net.tracer(), 0, "replan:eval");
   shard::ShardPlan refined = sharded->measured_plan();
   if (refined == sharded->plan()) return;
   const auto profile = sharded->traffic_profile();

@@ -38,6 +38,10 @@ CongestConfig algo_config(const Network& outer) {
   cfg.reliable_transport = false;
   cfg.shards = 1;
   cfg.threads = outer.num_workers();
+  // One recorder per run, owned by the outer stack — the staging engine
+  // must not construct its own (a fresh ReliableNetwork is built per
+  // wrapped phase).
+  cfg.trace = obs::TraceOptions{};
   return cfg;
 }
 
@@ -413,11 +417,28 @@ void ReliablePhase::initialize(Network& outer) {
     return;
   }
   vnet_->close_virtual_round();
-  vnet_->transmit_pass(outer);  // first physical transmissions (round 0)
+  {
+    // First physical transmissions (round 0). The passes run outside the
+    // Network's own seams, so their wall-clock is accounted explicitly
+    // (retransmit is a sub-interval of the round's compute time).
+    const std::int64_t t0 = obs::monotonic_ns();
+    vnet_->transmit_pass(outer);
+    const std::int64_t t1 = obs::monotonic_ns();
+    outer.account_retransmit_seconds(static_cast<double>(t1 - t0) * 1e-9);
+    if (outer.tracer() != nullptr)
+      outer.tracer()->record(0, "rel:xmit", t0, t1);
+  }
 }
 
 void ReliablePhase::process_round(Network& outer) {
-  vnet_->receive_pass(outer);
+  {
+    const std::int64_t t0 = obs::monotonic_ns();
+    vnet_->receive_pass(outer);
+    const std::int64_t t1 = obs::monotonic_ns();
+    outer.account_retransmit_seconds(static_cast<double>(t1 - t0) * 1e-9);
+    if (outer.tracer() != nullptr)
+      outer.tracer()->record(0, "rel:recv", t0, t1);
+  }
   if (!inner_finished_ && vnet_->virtual_round_complete()) {
     vnet_->deliver_and_flip();
     inner_->process_round(*vnet_);
@@ -428,7 +449,14 @@ void ReliablePhase::process_round(Network& outer) {
     }
     vnet_->close_virtual_round();
   }
-  vnet_->transmit_pass(outer);
+  {
+    const std::int64_t t0 = obs::monotonic_ns();
+    vnet_->transmit_pass(outer);
+    const std::int64_t t1 = obs::monotonic_ns();
+    outer.account_retransmit_seconds(static_cast<double>(t1 - t0) * 1e-9);
+    if (outer.tracer() != nullptr)
+      outer.tracer()->record(0, "rel:xmit", t0, t1);
+  }
 }
 
 bool ReliablePhase::finished(const Network& outer) const {

@@ -40,6 +40,12 @@ class RepairAlgorithm final : public DistributedAlgorithm {
 
   void process_round(Network& net) override {
     ++stage_;
+    static constexpr const char* kStageNames[] = {
+        "repair:coverage", "repair:offer", "repair:vote", "repair:join",
+        "repair:confirm"};
+    obs::ScopedSpan span(net.tracer(), 0,
+                         stage_ >= 1 && stage_ <= 5 ? kStageNames[stage_ - 1]
+                                                    : "repair:stage");
     switch (stage_) {
       case 1:  // learn coverage; the uncovered raise their hand
         net.for_nodes([&](NodeId v) {

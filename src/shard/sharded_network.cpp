@@ -242,7 +242,14 @@ void ShardedNetwork::adopt_plan(ShardPlan plan) {
   // reset_for_reuse. The traffic profile survives — per-arc volume is a
   // property of the instance's traffic, not of any plan — so repeated
   // profile -> adopt cycles keep refining from live measurements.
-  ShardedNetwork::build_members();
+  {
+    // The whole rebuild as one driver-thread span; replan adoptions are
+    // rare (phase boundaries) but expensive, so they should be visible
+    // on the trace timeline.
+    obs::ScopedSpan span(tracer_, 0, "replan:adopt", 0,
+                         static_cast<std::int64_t>(replans_ + 1));
+    ShardedNetwork::build_members();
+  }
   active_list_.clear();
   active_dirty_ = false;
   rng_streams_fresh_ = true;
@@ -270,6 +277,17 @@ std::size_t ShardedNetwork::arena_words() const {
   std::size_t words = 0;
   for (const auto& sh : shards_) words += sh->arena_words();
   return words;
+}
+
+std::int64_t ShardedNetwork::pending_spill_records() const {
+  // The members' spill buffers hold the overflow (the facade owns none);
+  // bridged records still parked in relay segments count too — both are
+  // "sent but not yet merged" from the flight recorder's point of view.
+  std::int64_t total = 0;
+  for (const auto& sh : shards_) total += sh->pending_spill_records();
+  for (const RelaySegment& seg : relay_)
+    total += static_cast<std::int64_t>(seg.recs.size());
+  return total;
 }
 
 void ShardedNetwork::enable_traffic_profile() {
@@ -399,6 +417,8 @@ void ShardedNetwork::flip_buffers() {
         std::int64_t records = 0;
         for (std::size_t dst = begin; dst < end; ++dst) {
           Network& member = *shards_[dst];
+          std::int64_t dst_records = 0;
+          const std::int64_t merge_t0 = obs::monotonic_ns();
           for (std::size_t src = 0; src < k; ++src) {
             if (src == dst) continue;
             for (std::size_t w = 0; w < workers_; ++w) {
@@ -413,14 +433,24 @@ void ShardedNetwork::flip_buffers() {
                 member.deposit_words(wslot, r.lane,
                                      seg.words.data() + r.begin,
                                      r.end - r.begin);
-              records += static_cast<std::int64_t>(seg.recs.size());
+              dst_records += static_cast<std::int64_t>(seg.recs.size());
               pair_bridged_words_[src * k + dst] +=
                   static_cast<std::int64_t>(seg.words.size());
               seg.words.clear();
               seg.recs.clear();
             }
           }
-          member.flip_buffers();
+          const std::int64_t merge_t1 = obs::monotonic_ns();
+          bridge_slots_[wslot].merge_ns += merge_t1 - merge_t0;
+          records += dst_records;
+          if (tracer_ != nullptr)
+            tracer_->record(wslot, "bridge:merge", merge_t0, merge_t1,
+                            static_cast<int>(dst) + 1, dst_records);
+          {
+            obs::ScopedSpan span(tracer_, wslot, "shard:flip",
+                                 static_cast<int>(dst) + 1);
+            member.flip_buffers();
+          }
           member.round_ = round_ + 1;  // run_phase advances the facade next
         }
         bridge_slots_[wslot].records += records;
@@ -428,7 +458,9 @@ void ShardedNetwork::flip_buffers() {
       ChunkDomain::kShards);
   for (BridgeSlot& slot : bridge_slots_) {
     bridge_records_ += slot.records;
+    stats_.timing.merge_seconds += static_cast<double>(slot.merge_ns) * 1e-9;
     slot.records = 0;
+    slot.merge_ns = 0;
   }
   active_dirty_ = true;
 }
@@ -501,8 +533,18 @@ void ShardedNetwork::rebuild_active_set() {
   // unsharded worklist exactly — same contents, same order.
   active_dirty_ = false;
   active_list_.clear();
-  for (auto& sh : shards_) {
-    if (sh->active_dirty_) sh->rebuild_active_set();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Network* sh = shards_[s].get();
+    if (sh->active_dirty_) {
+      // Members never hold a tracer (the facade owns the stack's recorder),
+      // so attribute the member rebuild to its shard row from here.
+      const std::int64_t t0 = tracer_ != nullptr ? obs::monotonic_ns() : 0;
+      sh->rebuild_active_set();
+      if (tracer_ != nullptr)
+        tracer_->record(0, "active:rebuild", t0, obs::monotonic_ns(),
+                        static_cast<int>(s) + 1,
+                        static_cast<std::int64_t>(sh->active_list_.size()));
+    }
     active_list_.insert(active_list_.end(), sh->active_list_.begin(),
                         sh->active_list_.end());
   }

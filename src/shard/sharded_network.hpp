@@ -193,6 +193,9 @@ class ShardedNetwork final : public Network {
   /// bridge_records_ serially after the dispatch returns.
   struct alignas(64) BridgeSlot {
     std::int64_t records = 0;
+    /// Wall-clock this worker spent in per-destination merge tasks,
+    /// folded into stats().timing.merge_seconds after the dispatch.
+    std::int64_t merge_ns = 0;
   };
 
   void flip_buffers() override;
@@ -204,6 +207,7 @@ class ShardedNetwork final : public Network {
                     std::size_t nwords) override;
   bool affine_chunk_bounds(ChunkDomain domain, std::size_t count,
                            std::vector<std::size_t>& bounds) override;
+  std::int64_t pending_spill_records() const override;
 
   /// (Re)builds the per-shard members, relay segments, and node/lane
   /// maps from plan_ (constructor + adopt_plan). Bridge counters and

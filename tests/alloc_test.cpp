@@ -133,11 +133,19 @@ class FloodProbe final : public DistributedAlgorithm {
   std::vector<double> sums_;
 };
 
-void expect_zero_steady_state_allocs(int threads, int shards = 1) {
+void expect_zero_steady_state_allocs(int threads, int shards = 1,
+                                     bool traced = false) {
   auto wg = WeightedGraph::uniform(gen::grid(48, 48));  // n = 2304, m = 4512
   CongestConfig cfg;
   cfg.threads = threads;
   cfg.shards = shards;
+  if (traced) {
+    // Tracing and the flight recorder must hold the same contract: the
+    // span ring and flight ring are sized at construction / phase start,
+    // so a steady-state round records into pre-grown storage only.
+    cfg.trace.enabled = true;
+    cfg.trace.flight_rounds = 8;
+  }
   // shards = 1 constructs a plain Network, > 1 the sharded facade —
   // whose relay segments and parallel flip merge must also go quiet
   // after warm-up (segment/spill capacity growth happens early, then
@@ -172,6 +180,14 @@ TEST(AllocRegression, ShardedSteadyStateRoundsAllocateNothingSerial) {
 
 TEST(AllocRegression, ShardedSteadyStateRoundsAllocateNothingParallel) {
   expect_zero_steady_state_allocs(4, /*shards=*/3);
+}
+
+TEST(AllocRegression, TracedSteadyStateRoundsAllocateNothingSerial) {
+  expect_zero_steady_state_allocs(1, /*shards=*/1, /*traced=*/true);
+}
+
+TEST(AllocRegression, TracedShardedSteadyStateRoundsAllocateNothingParallel) {
+  expect_zero_steady_state_allocs(4, /*shards=*/3, /*traced=*/true);
 }
 
 // The composed Theorem 1.2 pipeline (partial_ds + extension) used to

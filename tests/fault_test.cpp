@@ -489,7 +489,7 @@ TEST(FaultyScenario, FaultAxisStampsRowsAndSchemaJson) {
   std::ostringstream os;
   harness::write_scenario_json(os, rows);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 8"), std::string::npos);
   EXPECT_NE(json.find("\"fault\": \"lossy\""), std::string::npos);

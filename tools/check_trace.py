@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by trace::write_chrome_json.
+
+Checks (stdlib only, so CI can run it anywhere):
+  * the file parses and has a non-empty traceEvents array
+  * every "X" (complete) event carries name/ts/dur/pid/tid with dur >= 0
+  * spans nest properly per (pid, tid) track: sorted by (ts, -dur), each
+    span either starts after the enclosing span ends or ends within it —
+    partial overlap means the recorder's begin/end pairing is broken
+  * every pid that owns an "X" event has a process_name metadata row
+
+Exit status 0 on success (prints a one-line summary), 1 on any violation.
+
+Usage: check_trace.py TRACE.json
+"""
+import json
+import sys
+
+# Clock reads straddle span boundaries, so a child's recorded end can
+# exceed its parent's by the cost of the reads themselves; tolerate a
+# few microseconds before calling the nesting broken.
+NEST_EPSILON_US = 10.0
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = []
+    named_pids = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_pids.add(ev.get("pid"))
+            continue
+        if ph != "X":
+            fail(f"event {i}: unexpected ph {ph!r} (only X and M are emitted)")
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                fail(f"event {i}: missing field {field!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"event {i}: empty name")
+        if ev["dur"] < 0:
+            fail(f"event {i}: negative dur {ev['dur']}")
+        spans.append(ev)
+
+    if not spans:
+        fail("no X (complete) events")
+
+    used_pids = {ev["pid"] for ev in spans}
+    unnamed = used_pids - named_pids
+    if unnamed:
+        fail(f"pids without process_name metadata: {sorted(unnamed)}")
+
+    # Per-track nesting: walk spans in start order with a stack of open
+    # end-times. A span starting inside the enclosing one must also end
+    # inside it (within epsilon).
+    tracks = {}
+    for ev in spans:
+        tracks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    worst = 0.0
+    for (pid, tid), track in tracks.items():
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # open span end-times
+        for ev in track:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1] - NEST_EPSILON_US:
+                stack.pop()
+            if stack and end > stack[-1] + NEST_EPSILON_US:
+                fail(
+                    f"track pid={pid} tid={tid}: span {ev['name']!r} "
+                    f"[{start}, {end}] overlaps the enclosing span ending "
+                    f"at {stack[-1]} without nesting"
+                )
+            if stack:
+                worst = max(worst, end - stack[-1])
+            stack.append(end)
+
+    names = sorted({ev["name"] for ev in spans})
+    print(
+        f"check_trace: OK: {len(spans)} spans on {len(tracks)} track(s) "
+        f"across {len(used_pids)} process row(s); "
+        f"span kinds: {', '.join(names[:12])}"
+        + (" ..." if len(names) > 12 else "")
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,12 @@ catastrophic engine-wide regression. Rows a heavy fault level failed
 (`failed` true on both sides) carry no meaningful seconds and are
 excluded from the timing gate.
 
+The schema v7 timing-breakdown columns (`compute_seconds`,
+`flip_seconds`, `merge_seconds`, `retransmit_seconds`) are
+INFORMATIONAL ONLY: when both files carry them a baseline/fresh/delta
+table is printed per column, but timing drift there never fails the
+gate — only the median-seconds check above gates builds.
+
 Exit code 0 = pass, 1 = regression / mismatch, 2 = usage, missing rows,
 or duplicate keys.
 """
@@ -227,6 +233,11 @@ def main():
                          "delayed", "killed", "failed", "hit_round_limit",
                          "repair_rounds", "repaired_nodes",
                          "post_repair_weight", "replans")
+    # Schema v7 wall-clock breakdown: printed, never gated — timing is
+    # noise across machines, and the per-row median gate already covers
+    # end-to-end regressions.
+    timing_columns = ("compute_seconds", "flip_seconds", "merge_seconds",
+                      "retransmit_seconds")
 
     # One-line schema-drift notice: columns only one side carries are
     # skipped by the both-sides rule above — say so instead of silently
@@ -282,6 +293,25 @@ def main():
               f"{fresh[k]['seconds']:.6f}s "
               f"(raw {ratio - 1.0:+.1%}, normalized {normalized - 1.0:+.1%}) "
               f"{verdict}")
+
+    # Informational v7 timing breakdown: one line per matched row and
+    # column both sides carry. Never touches `failures`.
+    timing_lines = []
+    for k, base in sorted(baseline.items()):
+        new = fresh[k]
+        for col in timing_columns:
+            b, f = base.get(col), new.get(col)
+            if not (isinstance(b, (int, float)) and isinstance(f, (int, float))):
+                continue
+            timing_lines.append(
+                f"  {str(k):<60} {col:<20} {b:>12.6f}s {f:>12.6f}s "
+                f"{f - b:>+12.6f}s")
+    if timing_lines:
+        print("timing breakdown (informational, never gates):")
+        print(f"  {'row':<60} {'column':<20} {'baseline':>13} "
+              f"{'fresh':>13} {'delta':>13}")
+        for line in timing_lines:
+            print(line)
 
     if failures:
         print(f"{failures} check(s) failed")
